@@ -1,0 +1,219 @@
+// Benchmarks regenerating every table and figure of the MANI-Rank paper
+// (one Benchmark per artifact, running the experiment harness in its quick
+// configuration) plus ablation benches for the design choices DESIGN.md
+// calls out. Run `go run ./cmd/experiments <id>` for full paper-scale rows;
+// EXPERIMENTS.md records paper-vs-measured values.
+package manirank_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"manirank/internal/core"
+	"manirank/internal/experiments"
+	"manirank/internal/kemeny"
+	"manirank/internal/mallows"
+	"manirank/internal/ranking"
+	"manirank/internal/unfairgen"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Seed: 1, Out: io.Discard, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Datasets regenerates paper Table I (dataset fairness).
+func BenchmarkTable1Datasets(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig2Admissions regenerates paper Figure 2 (admissions example).
+func BenchmarkFig2Admissions(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3ConstraintVariants regenerates paper Figure 3 (attribute-only
+// vs intersection-only vs MANI-Rank constraint sets).
+func BenchmarkFig3ConstraintVariants(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4Methods regenerates paper Figure 4 (8-method comparison).
+func BenchmarkFig4Methods(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5PoF regenerates paper Figure 5 (price of fairness).
+func BenchmarkFig5PoF(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6RankerScale regenerates paper Figure 6 (runtime vs |R|).
+func BenchmarkFig6RankerScale(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7CandidateScale regenerates paper Figure 7 (runtime vs n).
+func BenchmarkFig7CandidateScale(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkTable2FairBordaRankers regenerates paper Table II (Fair-Borda
+// ranker scalability).
+func BenchmarkTable2FairBordaRankers(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3FairBordaCandidates regenerates paper Table III (Fair-Borda
+// candidate scalability).
+func BenchmarkTable3FairBordaCandidates(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4ExamStudy regenerates paper Table IV (merit scholarships).
+func BenchmarkTable4ExamStudy(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable5CSRankings regenerates paper Table V (CSRankings).
+func BenchmarkTable5CSRankings(b *testing.B) { benchExperiment(b, "table5") }
+
+// --- Ablation benches (DESIGN.md Section 5) ---
+
+// ablationSetup builds a biased consensus problem for repair ablations.
+func ablationSetup(b *testing.B, n int) (ranking.Ranking, []core.Target) {
+	b.Helper()
+	tab, err := unfairgen.PaperTable(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return unfairgen.BlockRanking(tab), core.Targets(tab, 0.1)
+}
+
+// BenchmarkAblationSwapPolicyImpactful measures the paper's repair policy
+// ("fewer but more impactful swaps"); compare with the FineGrained variant
+// below — the impactful policy needs far fewer swaps for the same Delta.
+func BenchmarkAblationSwapPolicyImpactful(b *testing.B) {
+	r, targets := ablationSetup(b, 90)
+	b.ResetTimer()
+	swaps := 0
+	for i := 0; i < b.N; i++ {
+		_, s, err := core.MakeMRFairWithPolicy(r, targets, core.PolicyImpactful)
+		if err != nil {
+			b.Fatal(err)
+		}
+		swaps = s
+	}
+	b.ReportMetric(float64(swaps), "swaps")
+}
+
+// BenchmarkAblationSwapPolicyFineGrained always takes the smallest
+// available corrective step.
+func BenchmarkAblationSwapPolicyFineGrained(b *testing.B) {
+	r, targets := ablationSetup(b, 90)
+	b.ResetTimer()
+	swaps := 0
+	for i := 0; i < b.N; i++ {
+		_, s, err := core.MakeMRFairWithPolicy(r, targets, core.PolicyFineGrained)
+		if err != nil {
+			b.Fatal(err)
+		}
+		swaps = s
+	}
+	b.ReportMetric(float64(swaps), "swaps")
+}
+
+// kemenyBenchInstance builds a mid-size Kemeny instance with a moderate
+// consensus level, hard enough that pruning matters.
+func kemenyBenchInstance(b *testing.B, n int) *ranking.Precedence {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	modal := ranking.Random(n, rng)
+	p := mallows.MustNew(modal, 0.15).SampleProfile(9, rng)
+	return ranking.MustPrecedence(p)
+}
+
+// BenchmarkAblationKemenyBBSeeded measures exact branch-and-bound seeded
+// with a local-search incumbent; compare with the unseeded variant — the
+// incumbent prunes most of the tree.
+func BenchmarkAblationKemenyBBSeeded(b *testing.B) {
+	w := kemenyBenchInstance(b, 12)
+	b.ResetTimer()
+	var nodes int64
+	for i := 0; i < b.N; i++ {
+		seed := kemeny.LocalSearch(w, kemeny.BordaFromPrecedence(w))
+		res := kemeny.BranchAndBound(w, nil, seed, 0)
+		nodes = res.Nodes
+	}
+	b.ReportMetric(float64(nodes), "nodes")
+}
+
+// BenchmarkAblationKemenyBBUnseeded runs the same search with no incumbent.
+func BenchmarkAblationKemenyBBUnseeded(b *testing.B) {
+	w := kemenyBenchInstance(b, 12)
+	b.ResetTimer()
+	var nodes int64
+	for i := 0; i < b.N; i++ {
+		res := kemeny.BranchAndBound(w, nil, nil, 0)
+		nodes = res.Nodes
+	}
+	b.ReportMetric(float64(nodes), "nodes")
+}
+
+// BenchmarkAblationILSBordaInit measures iterated local search seeded from
+// the Borda order; compare with the random-start variant — the Borda seed
+// starts near the optimum basin.
+func BenchmarkAblationILSBordaInit(b *testing.B) {
+	w := kemenyBenchInstance(b, 90)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kemeny.LocalSearch(w, kemeny.BordaFromPrecedence(w))
+	}
+}
+
+// BenchmarkAblationILSRandomInit starts local search from a random ranking.
+func BenchmarkAblationILSRandomInit(b *testing.B) {
+	w := kemenyBenchInstance(b, 90)
+	rng := rand.New(rand.NewSource(10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kemeny.LocalSearch(w, ranking.Random(90, rng))
+	}
+}
+
+// --- Core operation micro-benches ---
+
+// BenchmarkPrecedenceMatrix100x150 builds the Figure 3/4 workload's
+// precedence matrix (90 candidates would match the paper; 100 rounds up).
+func BenchmarkPrecedenceMatrix100x150(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	p := make(ranking.Profile, 150)
+	for i := range p {
+		p[i] = ranking.Random(100, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranking.MustPrecedence(p)
+	}
+}
+
+// BenchmarkMakeMRFair90 measures one full repair of a maximally unfair
+// 90-candidate ranking to Delta = 0.1.
+func BenchmarkMakeMRFair90(b *testing.B) {
+	r, targets := ablationSetup(b, 90)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MakeMRFair(r, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMallowsSample90 measures one exact RIM Mallows draw at the
+// paper's figure scale.
+func BenchmarkMallowsSample90(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	m := mallows.MustNew(ranking.Random(90, rng), 0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Sample(rng)
+	}
+}
+
+// BenchmarkPlackettLuce100k measures one approximate draw at Table III
+// scale.
+func BenchmarkPlackettLuce100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	pl := mallows.MustNewPlackettLuce(ranking.New(100_000), 0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Sample(rng)
+	}
+}

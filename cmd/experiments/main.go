@@ -1,0 +1,43 @@
+// Command experiments regenerates the tables and figures of the MANI-Rank
+// paper's evaluation. Each experiment id corresponds to one artifact; see
+// DESIGN.md for the per-experiment index.
+//
+// Usage:
+//
+//	experiments [-seed N] [-quick] <id>
+//
+// where <id> is one of table1, fig2, fig3, fig4, fig5, fig6, fig7, table2,
+// table3, table4, table5, or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"manirank/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed (runs are reproducible per seed)")
+	quick := flag.Bool("quick", false, "shrink the heaviest workloads for a fast smoke run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-quick] <%s|all>\n",
+			strings.Join(experiments.ExperimentIDs(), "|"))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Out: os.Stdout, Quick: *quick}
+	start := time.Now()
+	if err := experiments.Run(flag.Arg(0), cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,61 @@
+package manirank_test
+
+import (
+	"fmt"
+
+	"manirank"
+)
+
+// ExampleFairKemeny demonstrates removing gender bias from a consensus over
+// six candidates: every ranker puts all men (0-2) above all women (3-5);
+// Fair-Kemeny with Delta = 0.4 pulls the consensus toward parity.
+func ExampleFairKemeny() {
+	table, _ := manirank.NewTable(6,
+		manirank.MustAttribute("Gender", []string{"M", "W"}, []int{0, 0, 0, 1, 1, 1}),
+	)
+	profile := manirank.Profile{
+		{0, 1, 2, 3, 4, 5},
+		{1, 0, 2, 4, 3, 5},
+	}
+	unfair, _ := manirank.Kemeny(profile, manirank.KemenyOptions{})
+	fair, _ := manirank.FairKemeny(profile, manirank.Targets(table, 0.4), manirank.Options{})
+	fmt.Printf("unaware ARP %.2f, fair ARP %.2f\n",
+		manirank.ARP(unfair, table.Attr("Gender")),
+		manirank.ARP(fair, table.Attr("Gender")))
+	// Output: unaware ARP 1.00, fair ARP 0.33
+}
+
+// ExampleAudit shows a full fairness audit of a single ranking.
+func ExampleAudit() {
+	table, _ := manirank.NewTable(4,
+		manirank.MustAttribute("Gender", []string{"M", "W"}, []int{0, 1, 0, 1}),
+	)
+	r := manirank.Ranking{0, 2, 1, 3} // both men above both women
+	rep := manirank.Audit(r, table)
+	fmt.Printf("ARP Gender = %.2f\n", rep.ARPs[0])
+	fmt.Printf("satisfies Delta=0.5: %v\n", rep.Satisfies(0.5))
+	// Output:
+	// ARP Gender = 1.00
+	// satisfies Delta=0.5: false
+}
+
+// ExampleKendallTau counts pairwise disagreements between two rankings.
+func ExampleKendallTau() {
+	a := manirank.Ranking{0, 1, 2, 3}
+	b := manirank.Ranking{1, 0, 3, 2}
+	fmt.Println(manirank.KendallTau(a, b))
+	// Output: 2
+}
+
+// ExampleMakeMRFair repairs an existing ranking in place of re-aggregating.
+func ExampleMakeMRFair() {
+	table, _ := manirank.NewTable(4,
+		manirank.MustAttribute("Gender", []string{"M", "W"}, []int{0, 0, 1, 1}),
+	)
+	biased := manirank.Ranking{0, 1, 2, 3}
+	fair, _ := manirank.MakeMRFair(biased, manirank.Targets(table, 0.5))
+	fmt.Printf("ARP %.2f -> %.2f\n",
+		manirank.ARP(biased, table.Attr("Gender")),
+		manirank.ARP(fair, table.Attr("Gender")))
+	// Output: ARP 1.00 -> 0.50
+}

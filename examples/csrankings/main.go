@@ -1,0 +1,76 @@
+// CSRankings reproduces the paper's appendix case study (Table V): 21
+// yearly rankings of 65 US computer science departments carrying Location
+// (Northeast/Midwest/West/South) and Type (Private/Public) attributes. The
+// yearly rankings persistently favour Northeast and Private institutions;
+// a 20-year Kemeny consensus amplifies that bias, while the MFCR methods at
+// Delta = 0.05 produce a de-biased consensus — demonstrating MANI-Rank on
+// ranked entities other than people.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"manirank"
+	"manirank/internal/unfairgen"
+)
+
+func main() {
+	study, err := unfairgen.NewCSRankingsStudy(17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := study.Table
+	profile := manirank.Profile(study.Profile)
+
+	row := func(name string, r manirank.Ranking) {
+		loc := manirank.FPR(r, table.Attr("Location"))
+		typ := manirank.FPR(r, table.Attr("Type"))
+		rep := manirank.Audit(r, table)
+		fmt.Printf("%-13s NE=%.2f MW=%.2f W=%.2f S=%.2f loc=%.2f | priv=%.2f pub=%.2f type=%.2f | IRP=%.2f\n",
+			name, loc[0], loc[1], loc[2], loc[3], rep.ARPs[0], typ[0], typ[1], rep.ARPs[1], rep.IRP)
+	}
+
+	fmt.Println("Sample of yearly base rankings:")
+	for _, idx := range []int{0, 10, 20} {
+		row(fmt.Sprintf("%d", study.Years[idx]), profile[idx])
+	}
+
+	kemeny, err := manirank.Kemeny(profile, manirank.KemenyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n20-year consensus:")
+	row("Kemeny", kemeny)
+
+	targets := manirank.Targets(table, 0.05)
+	for _, m := range []struct {
+		name  string
+		solve func() (manirank.Ranking, error)
+	}{
+		{"Fair-Kemeny", func() (manirank.Ranking, error) {
+			return manirank.FairKemeny(profile, targets, manirank.Options{})
+		}},
+		{"Fair-Schulze", func() (manirank.Ranking, error) { return manirank.FairSchulze(profile, targets) }},
+		{"Fair-Borda", func() (manirank.Ranking, error) { return manirank.FairBorda(profile, targets) }},
+		{"Fair-Copeland", func() (manirank.Ranking, error) { return manirank.FairCopeland(profile, targets) }},
+	} {
+		r, err := m.solve()
+		if err != nil {
+			log.Fatal(err)
+		}
+		row(m.name, r)
+	}
+
+	fmt.Println("\nTop 10 departments, Kemeny vs Fair-Kemeny:")
+	fair, err := manirank.FairKemeny(profile, targets, manirank.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for pos := 0; pos < 10; pos++ {
+		k, f := kemeny[pos], fair[pos]
+		fmt.Printf("  %2d. dept %2d (%s/%s)   vs   dept %2d (%s/%s)\n", pos+1,
+			k, table.Attr("Location").ValueOf(k), table.Attr("Type").ValueOf(k),
+			f, table.Attr("Location").ValueOf(f), table.Attr("Type").ValueOf(f))
+	}
+}

@@ -1,0 +1,238 @@
+// Package aggregate implements the fairness-unaware consensus ranking
+// methods the paper builds on or compares against (Sections III and IV):
+// Borda, Copeland, Schulze, exact/heuristic Kemeny, and the fairness-aware
+// baselines Pick-A-Perm / Pick-Fairest-Perm / Kemeny-Weighted.
+//
+// All methods are deterministic: score ties break by ascending candidate id.
+package aggregate
+
+import (
+	"errors"
+
+	"manirank/internal/attribute"
+	"manirank/internal/fairness"
+	"manirank/internal/kemeny"
+	"manirank/internal/ranking"
+)
+
+// Borda returns the Borda consensus: candidates ordered by descending total
+// points, where a candidate earns one point per candidate ranked below it in
+// each base ranking (paper Section III-B). O(n * |R|).
+func Borda(p ranking.Profile) (ranking.Ranking, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	points := make([]int, n)
+	for _, r := range p {
+		for i, c := range r {
+			points[c] += n - 1 - i
+		}
+	}
+	return ranking.SortByPointsDesc(points), nil
+}
+
+// Copeland returns the Copeland consensus: candidates ordered by descending
+// number of pairwise contests won, where a tie counts as a win for both
+// candidates (paper Section III-B).
+func Copeland(w *ranking.Precedence) ranking.Ranking {
+	n := w.N()
+	wins := make([]int, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			// Candidate a wins the contest against b when at least as many
+			// rankings place a above b as b above a. W[a][b] counts rankings
+			// with b above a, so a's support is m - W[a][b] = W[b][a].
+			if w.At(b, a) >= w.At(a, b) {
+				wins[a]++
+			}
+		}
+	}
+	return ranking.SortByPointsDesc(wins)
+}
+
+// Schulze returns the Schulze consensus: strongest-path pairwise comparison
+// computed with the Floyd-Warshall widest-path recurrence, candidates ordered
+// by their number of strongest-path wins (paper Section III-B). O(n^3).
+func Schulze(w *ranking.Precedence) ranking.Ranking {
+	n := w.N()
+	// d[a][b] = number of rankings preferring a over b.
+	p := make([][]int, n)
+	for a := 0; a < n; a++ {
+		p[a] = make([]int, n)
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			support := w.At(b, a) // rankings with a above b
+			against := w.At(a, b)
+			if support > against {
+				p[a][b] = support
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		pk := p[k]
+		for a := 0; a < n; a++ {
+			if a == k {
+				continue
+			}
+			pa := p[a]
+			ak := pa[k]
+			if ak == 0 {
+				continue
+			}
+			for b := 0; b < n; b++ {
+				if b == a || b == k {
+					continue
+				}
+				s := ak
+				if pk[b] < s {
+					s = pk[b]
+				}
+				if s > pa[b] {
+					pa[b] = s
+				}
+			}
+		}
+	}
+	wins := make([]int, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && p[a][b] > p[b][a] {
+				wins[a]++
+			}
+		}
+	}
+	return ranking.SortByPointsDesc(wins)
+}
+
+// KemenyOptions configures the Kemeny solvers used by this package and the
+// core MFCR solvers.
+type KemenyOptions struct {
+	// ExactThreshold: use the exact branch-and-bound when n <= this value
+	// (default 12). Above it the iterated local search heuristic runs — see
+	// DESIGN.md (CPLEX substitution).
+	ExactThreshold int
+	// MaxNodes bounds the exact search (default 20e6 nodes); on exhaustion
+	// the best ranking found is returned.
+	MaxNodes int64
+	// Heuristic tunes the large-n iterated local search.
+	Heuristic kemeny.Options
+}
+
+// DefaultKemenyOptions returns the options used when a zero value is given.
+func DefaultKemenyOptions() KemenyOptions {
+	return KemenyOptions{ExactThreshold: 12, MaxNodes: 20_000_000}
+}
+
+func (o KemenyOptions) withDefaults() KemenyOptions {
+	d := DefaultKemenyOptions()
+	if o.ExactThreshold == 0 {
+		o.ExactThreshold = d.ExactThreshold
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = d.MaxNodes
+	}
+	return o
+}
+
+// Kemeny returns a consensus ranking minimising total Kendall tau distance to
+// the profile summarised by w: exactly (branch-and-bound) for small n,
+// heuristically (Borda-seeded iterated local search) for large n.
+func Kemeny(w *ranking.Precedence, opts KemenyOptions) ranking.Ranking {
+	opts = opts.withDefaults()
+	if w.N() <= opts.ExactThreshold {
+		seed := kemeny.LocalSearch(w, kemeny.BordaFromPrecedence(w))
+		res := kemeny.BranchAndBound(w, nil, seed, opts.MaxNodes)
+		if res.Ranking != nil {
+			return res.Ranking
+		}
+	}
+	return kemeny.Heuristic(w, opts.Heuristic)
+}
+
+// PickAPerm returns the base ranking closest to the whole profile (minimum
+// total Kendall tau distance), the Schalekamp & van Zuylen pick-a-perm
+// 2-approximation of Kemeny.
+func PickAPerm(p ranking.Profile) (ranking.Ranking, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w := ranking.MustPrecedence(p)
+	best, bestCost := -1, 0
+	for i, r := range p {
+		c := w.KemenyCost(r)
+		if best < 0 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return p[best].Clone(), nil
+}
+
+// PickFairestPerm returns the base ranking with the smallest maximum
+// ARP/IRP violation over table t — the paper's Pick-Fairest-Perm baseline
+// (Section IV-B). Ties break toward the earlier ranking.
+func PickFairestPerm(p ranking.Profile, t *attribute.Table) (ranking.Ranking, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.N() != t.N() {
+		return nil, errors.New("aggregate: profile and table candidate counts differ")
+	}
+	best, bestViol := -1, 0.0
+	for i, r := range p {
+		v := fairness.Audit(r, t).MaxViolation()
+		if best < 0 || v < bestViol {
+			best, bestViol = i, v
+		}
+	}
+	return p[best].Clone(), nil
+}
+
+// FairnessOrder returns the indices of p ordered from least fair to most
+// fair (descending max ARP/IRP violation over t).
+func FairnessOrder(p ranking.Profile, t *attribute.Table) []int {
+	type scored struct {
+		idx  int
+		viol float64
+	}
+	s := make([]scored, len(p))
+	for i, r := range p {
+		s[i] = scored{i, fairness.Audit(r, t).MaxViolation()}
+	}
+	// Insertion sort by descending violation, stable on index.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].viol > s[j-1].viol; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := make([]int, len(s))
+	for i, e := range s {
+		out[i] = e.idx
+	}
+	return out
+}
+
+// KemenyWeighted implements the paper's Kemeny-Weighted baseline: base
+// rankings are ordered from least to most fair and the i-th (1-based) in
+// that order contributes weight i to the precedence matrix — the fairest
+// ranking weighs |R|, the least fair weighs 1 — before Kemeny aggregation.
+func KemenyWeighted(p ranking.Profile, t *attribute.Table, opts KemenyOptions) (ranking.Ranking, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	order := FairnessOrder(p, t)
+	weights := make([]int, len(p))
+	for rank, idx := range order {
+		weights[idx] = rank + 1 // least fair -> 1, fairest -> |R|
+	}
+	w, err := ranking.NewWeightedPrecedence(p, weights)
+	if err != nil {
+		return nil, err
+	}
+	return Kemeny(w, opts), nil
+}

@@ -1,0 +1,105 @@
+package attribute
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// ReadTableCSV reads a candidate database from CSV. The first row is a
+// header: the first column names the candidate id column, every further
+// column a protected attribute. Each body row holds a candidate id (dense
+// 0..n-1, in any order) followed by categorical attribute values. Value
+// domains are the sorted distinct values observed per column.
+func ReadTableCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("attribute: reading CSV: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("attribute: CSV needs a header and at least one candidate row")
+	}
+	header := records[0]
+	if len(header) < 2 {
+		return nil, fmt.Errorf("attribute: CSV needs an id column and at least one attribute column")
+	}
+	body := records[1:]
+	n := len(body)
+	raw := make([][]string, len(header)-1) // raw[attr][candidate]
+	for i := range raw {
+		raw[i] = make([]string, n)
+	}
+	seen := make([]bool, n)
+	for _, rec := range body {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("attribute: CSV row has %d fields, header has %d", len(rec), len(header))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("attribute: candidate id %q is not an integer: %w", rec[0], err)
+		}
+		if id < 0 || id >= n || seen[id] {
+			return nil, fmt.Errorf("attribute: candidate ids must be dense 0..%d without repeats; got %d", n-1, id)
+		}
+		seen[id] = true
+		for i := 1; i < len(rec); i++ {
+			raw[i-1][id] = rec[i]
+		}
+	}
+	attrs := make([]*Attribute, 0, len(raw))
+	for i, col := range raw {
+		domSet := map[string]bool{}
+		for _, v := range col {
+			domSet[v] = true
+		}
+		dom := make([]string, 0, len(domSet))
+		for v := range domSet {
+			dom = append(dom, v)
+		}
+		sort.Strings(dom)
+		idx := make(map[string]int, len(dom))
+		for j, v := range dom {
+			idx[v] = j
+		}
+		of := make([]int, n)
+		for c, v := range col {
+			of[c] = idx[v]
+		}
+		a, err := NewAttribute(header[i+1], dom, of)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+	}
+	return NewTable(n, attrs...)
+}
+
+// WriteTableCSV writes the candidate database in the format ReadTableCSV
+// accepts.
+func WriteTableCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Attrs())+1)
+	header = append(header, "candidate")
+	for _, a := range t.Attrs() {
+		header = append(header, a.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for c := 0; c < t.N(); c++ {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, strconv.Itoa(c))
+		for _, a := range t.Attrs() {
+			rec = append(rec, a.ValueOf(c))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"manirank/internal/ranking"
+)
+
+// RepairPolicy selects the swap-selection strategy used by Make-MR-Fair.
+// The default PolicyImpactful is the paper's design; PolicyFineGrained is an
+// ablation that always takes the finest available step, and exists to
+// quantify how much the paper's "fewer but more impactful swaps" choice
+// saves (see DESIGN.md, ablations, and BenchmarkAblationSwapPolicy).
+type RepairPolicy int
+
+const (
+	// PolicyImpactful prefers the paper's long swap (lowest member of the
+	// highest-FPR group against the highest member of the lowest-FPR group
+	// below it) and falls back to fine-grained transfers only when the long
+	// swap would overshoot parity.
+	PolicyImpactful RepairPolicy = iota
+	// PolicyFineGrained always performs the best minimum-distance transfer,
+	// taking many small steps.
+	PolicyFineGrained
+)
+
+// RepairToLevels walks r toward parity in the smallest possible steps —
+// adjacent pair swaps, each transferring exactly one mixed-pair win per
+// attribute — until every target's spread is at or below its delta. Because
+// each step moves every parity score by at most one win quantum, the
+// resulting scores sit as close to their targets as the granularity allows.
+// It exists for dataset generation (building rankings with *requested
+// levels of unfairness*, paper Table I); consensus repair should use
+// MakeMRFair, which takes far fewer, larger swaps. When no adjacent swap
+// makes progress (tied plateaus), one minimum-distance transfer from the
+// global search unsticks the walk.
+func RepairToLevels(r ranking.Ranking, targets []Target) (ranking.Ranking, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	eng := newParityEngine(r, targets)
+	n := len(r)
+	maxIters := n*n*(len(targets)+1) + n
+	for iter := 0; ; iter++ {
+		cur := eng.potential()
+		if cur <= 0 {
+			return eng.r, nil
+		}
+		if iter >= maxIters {
+			return nil, fmt.Errorf("%w (gave up after %d adjacent swaps)", ErrUnrepairable, iter)
+		}
+		if p, ok := eng.findBestAdjacentSwap(cur); ok {
+			eng.swap(p, p+1)
+			continue
+		}
+		i, j, ok := eng.findBestGlobalTransfer(cur)
+		if !ok {
+			return nil, ErrUnrepairable
+		}
+		eng.swap(i, j)
+	}
+}
+
+// MakeMRFairWithPolicy is MakeMRFair with an explicit swap-selection policy
+// and a swap counter, supporting the swap-policy ablation study. It returns
+// the repaired ranking and the number of pair swaps performed.
+func MakeMRFairWithPolicy(r ranking.Ranking, targets []Target, policy RepairPolicy) (ranking.Ranking, int, error) {
+	if err := r.Validate(); err != nil {
+		return nil, 0, err
+	}
+	for _, tg := range targets {
+		if tg.Attr.N() != len(r) {
+			return nil, 0, fmt.Errorf("core: target attribute %q covers %d candidates, ranking has %d", tg.Attr.Name, tg.Attr.N(), len(r))
+		}
+		if tg.Delta < 0 || tg.Delta > 1 {
+			return nil, 0, fmt.Errorf("core: target %q has Delta %v outside [0,1]", tg.Attr.Name, tg.Delta)
+		}
+	}
+	eng := newParityEngine(r, targets)
+	n := len(r)
+	maxIters := n*n*(len(targets)+1) + n
+	for iter := 0; ; iter++ {
+		cur := eng.potential()
+		if cur <= 0 {
+			return eng.r, iter, nil
+		}
+		if iter >= maxIters {
+			return nil, iter, fmt.Errorf("%w (gave up after %d swaps)", ErrUnrepairable, iter)
+		}
+		if policy == PolicyImpactful {
+			k := eng.worstTarget()
+			vh, vl := eng.extremeGroups(k)
+			i1, j1, ok1 := eng.findSwap(k, vh, vl)
+			i2, j2, ok2 := eng.findCappedSwap(k, vh, vl)
+			if ok1 && ok2 && j2-i2 > j1-i1 {
+				i1, j1, i2, j2 = i2, j2, i1, j1
+			} else if !ok1 {
+				i1, j1, ok1 = i2, j2, ok2
+				ok2 = false
+			}
+			if ok1 && eng.potentialAfter(i1, j1) < cur-1e-15 {
+				eng.swap(i1, j1)
+				continue
+			}
+			if ok2 && eng.potentialAfter(i2, j2) < cur-1e-15 {
+				eng.swap(i2, j2)
+				continue
+			}
+		}
+		i, j, ok := eng.findBestGlobalTransfer(cur)
+		if !ok {
+			return nil, iter, ErrUnrepairable
+		}
+		eng.swap(i, j)
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import "testing"
+
+// TestRepairConvergesOnHardInstances exercises Make-MR-Fair on the
+// configurations that historically triggered oscillation or dead ends:
+// block-unfair starts with tight deltas over many intersectional groups.
+func TestRepairConvergesOnHardInstances(t *testing.T) {
+	for _, n := range []int{30, 45, 90} {
+		tab := testTable(t, n)
+		for _, delta := range []float64{0.3, 0.1, 0.05} {
+			out, err := MakeMRFair(blockRanking(tab), Targets(tab, delta))
+			if err != nil {
+				t.Fatalf("n=%d delta=%v: %v", n, delta, err)
+			}
+			if v, idx := MaxViolation(out, Targets(tab, delta)); v > 0 {
+				t.Fatalf("n=%d delta=%v: violation %v on target %d", n, delta, v, idx)
+			}
+		}
+	}
+}

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"manirank/internal/ranking"
+)
+
+// ErrUnrepairable reports that Make-MR-Fair could not find a pair swap that
+// reduces the worst parity violation; this happens only for thresholds that
+// are unsatisfiable given the group structure (e.g. a group covering all but
+// one candidate).
+var ErrUnrepairable = errors.New("core: Make-MR-Fair cannot reach the requested fairness thresholds")
+
+// MakeMRFair implements the paper's Make-MR-Fair algorithm (Algorithm 2): it
+// repairs consensus ranking r with targeted pair swaps until every target's
+// FPR spread is at or below its Delta. Each iteration corrects the attribute
+// with the worst violation by swapping the lowest-ranked member of its
+// highest-FPR group with the highest-ranked lower member of its lowest-FPR
+// group, repositioning candidates into impactful top positions so few swaps
+// (and little added PD loss) are needed.
+//
+// The input ranking is not modified; the repaired ranking is returned.
+// Fairness scores are maintained incrementally, so one swap costs O(span*q)
+// where span is the position distance swapped and q the number of targets.
+func MakeMRFair(r ranking.Ranking, targets []Target) (ranking.Ranking, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	for _, tg := range targets {
+		if tg.Attr.N() != len(r) {
+			return nil, fmt.Errorf("core: target attribute %q covers %d candidates, ranking has %d", tg.Attr.Name, tg.Attr.N(), len(r))
+		}
+		if tg.Delta < 0 || tg.Delta > 1 {
+			return nil, fmt.Errorf("core: target %q has Delta %v outside [0,1]", tg.Attr.Name, tg.Delta)
+		}
+	}
+	eng := newParityEngine(r, targets)
+	n := len(r)
+	// Worst case the algorithm flips every pair once per target
+	// (paper complexity analysis); anything beyond signals an
+	// unsatisfiable threshold combination.
+	maxIters := n*n*(len(targets)+1) + n
+	for iter := 0; ; iter++ {
+		cur := eng.potential()
+		if cur <= 0 {
+			return eng.r, nil
+		}
+		if iter >= maxIters {
+			return nil, fmt.Errorf("%w (gave up after %d swaps)", ErrUnrepairable, iter)
+		}
+		// Prefer the paper's pair for the worst target ("fewer but more
+		// impactful swaps") whenever it strictly reduces the total
+		// violation. A distance-d swap transfers exactly d mixed-pair wins
+		// between the swapped candidates' groups under EVERY target, so the
+		// post-swap violation of all targets is computable in O(sum of
+		// group counts) without touching the ranking.
+		k := eng.worstTarget()
+		vh, vl := eng.extremeGroups(k)
+		// Candidate strides, longest first: the paper's pair (lowest member
+		// of the highest-FPR group against the first lowest-group member
+		// below it) and the capped pair (the longest vh-above-vl pair whose
+		// win transfer still lands the extreme pair inside the parity
+		// band). In block-unfair rankings the paper's pair IS the long
+		// stride; in well-mixed rankings it degrades to distance 1-2 while
+		// the needed transfer is Theta(n^2) wins, so preferring the longer
+		// stride keeps progress geometric in the remaining gap and the
+		// repair near-linear on large candidate databases (Table III runs
+		// n = 10^5).
+		i1, j1, ok1 := eng.findSwap(k, vh, vl)
+		i2, j2, ok2 := eng.findCappedSwap(k, vh, vl)
+		if ok1 && ok2 && j2-i2 > j1-i1 {
+			i1, j1, i2, j2 = i2, j2, i1, j1
+		} else if !ok1 {
+			i1, j1, ok1 = i2, j2, ok2
+			ok2 = false
+		}
+		if ok1 && eng.potentialAfter(i1, j1) < cur-1e-15 {
+			eng.swap(i1, j1)
+			continue
+		}
+		if ok2 && eng.potentialAfter(i2, j2) < cur-1e-15 {
+			eng.swap(i2, j2)
+			continue
+		}
+		// Otherwise search the finest-grained candidate swaps: for every
+		// target and every ordered group pair, the closest positioned pair
+		// transferring wins between those groups. Accept the candidate that
+		// most reduces (total violation, band excess) lexicographically.
+		// Requiring a strict decrease of the violation makes the repair
+		// loop immune to the cross-target ping-pong that per-target
+		// acceptance allows (fixing Gender can re-break Race and vice
+		// versa, forever); the band-excess tie-break drains plateaus where
+		// several groups tie at the extreme FPR, so a swap that pulls one
+		// of them inward counts as progress even though the spread has not
+		// moved yet. The band [0.5 - delta/2, 0.5 + delta/2] is canonical:
+		// the omega_M-weighted mean of group FPRs is exactly 0.5 in every
+		// ranking, so parity always centres there.
+		i, j, ok := eng.findBestGlobalTransfer(cur)
+		if !ok {
+			return nil, ErrUnrepairable
+		}
+		eng.swap(i, j)
+	}
+}
+
+// parityEngine tracks the FPR spread of every target incrementally across
+// pair swaps of a working ranking.
+type parityEngine struct {
+	r    ranking.Ranking
+	pos  []int
+	tgts []Target
+	// wins[k][v] = mixed pairs currently won by group v of target k.
+	wins [][]int
+	// omegaM[k][v] = total mixed pairs of group v (0 for empty/universal).
+	omegaM [][]int
+	// jointOf[c] is candidate c's group in the joint (cross-product)
+	// structure over all target attributes; swap candidates are enumerated
+	// between joint groups because they subsume every target's own group
+	// pairs while offering the finest-grained moves (e.g. a cross-gender
+	// swap within one race). nil when the occupied combination count
+	// exceeds maxJointGroups.
+	jointOf []int
+	jointG  int
+}
+
+// maxJointGroups caps the joint candidate-generation structure; beyond it
+// the per-target group tables are used instead.
+const maxJointGroups = 512
+
+func newParityEngine(r ranking.Ranking, targets []Target) *parityEngine {
+	eng := &parityEngine{
+		r:      r.Clone(),
+		pos:    r.Positions(),
+		tgts:   targets,
+		wins:   make([][]int, len(targets)),
+		omegaM: make([][]int, len(targets)),
+	}
+	n := len(r)
+	for k, tg := range targets {
+		g := tg.Attr.DomainSize()
+		sizes := tg.Attr.GroupSizes()
+		eng.wins[k] = make([]int, g)
+		eng.omegaM[k] = make([]int, g)
+		seen := make([]int, g)
+		for i, c := range eng.r {
+			v := tg.Attr.Of[c]
+			below := n - 1 - i
+			sameBelow := sizes[v] - seen[v] - 1
+			eng.wins[k][v] += below - sameBelow
+			seen[v]++
+		}
+		for v := 0; v < g; v++ {
+			eng.omegaM[k][v] = sizes[v] * (n - sizes[v])
+		}
+	}
+	eng.buildJoint()
+	return eng
+}
+
+// buildJoint indexes the occupied combinations of all target attributes.
+func (eng *parityEngine) buildJoint() {
+	n := len(eng.r)
+	if len(eng.tgts) == 0 {
+		return
+	}
+	joint := make([]int, n)
+	index := map[int]int{}
+	for c := 0; c < n; c++ {
+		key := 0
+		for _, tg := range eng.tgts {
+			key = key*tg.Attr.DomainSize() + tg.Attr.Of[c]
+		}
+		id, ok := index[key]
+		if !ok {
+			id = len(index)
+			if id >= maxJointGroups {
+				return // too many combinations; keep jointOf nil
+			}
+			index[key] = id
+		}
+		joint[c] = id
+	}
+	eng.jointOf = joint
+	eng.jointG = len(index)
+}
+
+// fpr returns the current FPR of group v under target k (0.5 for groups with
+// no mixed pairs, mirroring the fairness package).
+func (eng *parityEngine) fpr(k, v int) float64 {
+	if eng.omegaM[k][v] == 0 {
+		return 0.5
+	}
+	return float64(eng.wins[k][v]) / float64(eng.omegaM[k][v])
+}
+
+// spread returns the current ARP of target k.
+func (eng *parityEngine) spread(k int) float64 {
+	lo, hi := 2.0, -1.0
+	for v := 0; v < eng.tgts[k].Attr.DomainSize(); v++ {
+		f := eng.fpr(k, v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return hi - lo
+}
+
+// worstTarget returns the index of the violated target with the largest
+// spread, or -1 when every target is satisfied.
+func (eng *parityEngine) worstTarget() int {
+	worst, idx := 0.0, -1
+	for k, tg := range eng.tgts {
+		s := eng.spread(k)
+		if s > tg.Delta+1e-12 && s > worst {
+			worst, idx = s, k
+		}
+	}
+	return idx
+}
+
+// extremeGroups returns the group values with the highest and lowest FPR for
+// target k (ties break to the lower value index, deterministic).
+func (eng *parityEngine) extremeGroups(k int) (vh, vl int) {
+	g := eng.tgts[k].Attr.DomainSize()
+	hi, lo := -1.0, 2.0
+	for v := 0; v < g; v++ {
+		f := eng.fpr(k, v)
+		if f > hi {
+			hi, vh = f, v
+		}
+		if f < lo {
+			lo, vl = f, v
+		}
+	}
+	return vh, vl
+}
+
+// findSwap locates the positions (i above, j below) to exchange per the
+// paper's policy: the lowest-ranked member of the highest-FPR group that
+// still favours some member of the lowest-FPR group, paired with the highest
+// such Glowest member below it (the first unfavored Glowest candidate among
+// its ordered mixed pairs). When the lowest Ghighest member has no Glowest
+// candidate below it, the anchor moves up through Ghighest (paper Algorithm
+// 2's "next lowest xi" clause). A single bottom-up scan finds the pair in
+// O(n). ok is false only when every Glowest member is ranked above every
+// Ghighest member, in which case no corrective swap exists.
+func (eng *parityEngine) findSwap(k, vh, vl int) (i, j int, ok bool) {
+	of := eng.tgts[k].Attr.Of
+	nearestVLBelow := -1
+	for p := len(eng.r) - 1; p >= 0; p-- {
+		switch of[eng.r[p]] {
+		case vh:
+			if nearestVLBelow >= 0 {
+				return p, nearestVLBelow, true
+			}
+		case vl:
+			nearestVLBelow = p
+		}
+	}
+	return 0, 0, false
+}
+
+// potential returns the total violation across all targets:
+// sum of max(0, spread_k - delta_k). Zero means every target is satisfied.
+func (eng *parityEngine) potential() float64 {
+	p := 0.0
+	for k, tg := range eng.tgts {
+		if s := eng.spread(k); s > tg.Delta+1e-12 {
+			p += s - tg.Delta
+		}
+	}
+	return p
+}
+
+// potentialAfter predicts the total violation after swapping the candidates
+// at positions i < j. The swap transfers exactly j-i mixed-pair wins from
+// the upper candidate's group to the lower candidate's group under every
+// target (and nothing else changes), so no ranking mutation is needed.
+func (eng *parityEngine) potentialAfter(i, j int) float64 {
+	a, b := eng.r[i], eng.r[j]
+	d := j - i
+	p := 0.0
+	for k, tg := range eng.tgts {
+		s := eng.spreadAfterTransfer(k, tg.Attr.Of[a], tg.Attr.Of[b], d)
+		if s > tg.Delta+1e-12 {
+			p += s - tg.Delta
+		}
+	}
+	return p
+}
+
+// spreadAfterTransfer computes target k's spread after moving d mixed-pair
+// wins from group a to group b (a == b leaves the target unchanged).
+func (eng *parityEngine) spreadAfterTransfer(k, a, b, d int) float64 {
+	if a == b {
+		return eng.spread(k)
+	}
+	g := eng.tgts[k].Attr.DomainSize()
+	lo, hi := 2.0, -1.0
+	for v := 0; v < g; v++ {
+		var f float64
+		if eng.omegaM[k][v] == 0 {
+			f = 0.5
+		} else {
+			w := eng.wins[k][v]
+			if v == a {
+				w -= d
+			}
+			if v == b {
+				w += d
+			}
+			f = float64(w) / float64(eng.omegaM[k][v])
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return hi - lo
+}
+
+// band returns the total band excess across all targets: how far every
+// group's FPR sits outside [0.5 - delta_k/2, 0.5 + delta_k/2], summed. Band
+// excess 0 implies every spread is at or below its delta.
+func (eng *parityEngine) band() float64 {
+	b := 0.0
+	for k, tg := range eng.tgts {
+		for v := 0; v < tg.Attr.DomainSize(); v++ {
+			b += bandExcess(eng.fpr(k, v), tg.Delta)
+		}
+	}
+	return b
+}
+
+func bandExcess(f, delta float64) float64 {
+	if over := f - (0.5 + delta/2); over > 0 {
+		return over
+	}
+	if under := (0.5 - delta/2) - f; under > 0 {
+		return under
+	}
+	return 0
+}
+
+// bandAfter predicts the total band excess after swapping positions i < j.
+func (eng *parityEngine) bandAfter(i, j int) float64 {
+	a, b := eng.r[i], eng.r[j]
+	d := j - i
+	total := 0.0
+	for k, tg := range eng.tgts {
+		va, vb := tg.Attr.Of[a], tg.Attr.Of[b]
+		for v := 0; v < tg.Attr.DomainSize(); v++ {
+			var f float64
+			if eng.omegaM[k][v] == 0 {
+				f = 0.5
+			} else {
+				w := eng.wins[k][v]
+				if va != vb {
+					if v == va {
+						w -= d
+					}
+					if v == vb {
+						w += d
+					}
+				}
+				f = float64(w) / float64(eng.omegaM[k][v])
+			}
+			total += bandExcess(f, tg.Delta)
+		}
+	}
+	return total
+}
+
+// findCappedSwap returns the vh-above-vl positioned pair with the largest
+// distance d such that transferring d wins leaves the pair's FPR gap just
+// below the target's Delta (satisfied, but no further — over-correcting
+// wastes PD loss and undershoots requested unfairness levels in data
+// generation). One O(n) scan collects both groups' positions; a merge-style
+// sweep then maximises d subject to the cap.
+func (eng *parityEngine) findCappedSwap(k, vh, vl int) (i, j int, ok bool) {
+	tg := eng.tgts[k]
+	if eng.omegaM[k][vh] == 0 || eng.omegaM[k][vl] == 0 {
+		return 0, 0, false
+	}
+	gap := eng.fpr(k, vh) - eng.fpr(k, vl)
+	if gap <= tg.Delta {
+		return 0, 0, false
+	}
+	step := 1/float64(eng.omegaM[k][vh]) + 1/float64(eng.omegaM[k][vl])
+	// The smallest transfer that brings the pair gap to or below Delta;
+	// larger transfers over-correct.
+	dmax := int(math.Ceil((gap-tg.Delta)/step - 1e-9))
+	if dmax < 1 {
+		return 0, 0, false
+	}
+	of := tg.Attr.Of
+	var vhPos, vlPos []int
+	for p, c := range eng.r {
+		switch of[c] {
+		case vh:
+			vhPos = append(vhPos, p)
+		case vl:
+			vlPos = append(vlPos, p)
+		}
+	}
+	bestD := 0
+	hi := 0 // index into vhPos of the smallest position >= q-dmax
+	for _, q := range vlPos {
+		for hi < len(vhPos) && vhPos[hi] < q-dmax {
+			hi++
+		}
+		if hi < len(vhPos) && vhPos[hi] < q {
+			if d := q - vhPos[hi]; d > bestD {
+				bestD = d
+				i, j, ok = vhPos[hi], q, true
+			}
+		}
+	}
+	return i, j, ok
+}
+
+// findBestGlobalTransfer enumerates, for every target and every ordered pair
+// of its groups, the closest positioned pair transferring wins between those
+// groups (the finest-grained corrective swaps available), and returns the
+// candidate that most reduces (total violation, band excess)
+// lexicographically. cur is the current potential; ok is false when no
+// candidate strictly improves, which only happens for threshold combinations
+// finer than the win granularity.
+// Cost is O(n * sum(g_k) + sum(g_k^2) * sum(g_k)).
+func (eng *parityEngine) findBestGlobalTransfer(cur float64) (i, j int, ok bool) {
+	bestP := cur
+	bestB := eng.band()
+	consider := func(pi, pj int) {
+		p := eng.potentialAfter(pi, pj)
+		if p > bestP+1e-15 {
+			return
+		}
+		b := eng.bandAfter(pi, pj)
+		if p < bestP-1e-15 || b < bestB-1e-15 {
+			bestP, bestB = p, b
+			i, j, ok = pi, pj, true
+		}
+	}
+	if eng.jointOf != nil {
+		eng.eachMinDistPair(eng.jointOf, eng.jointG, consider)
+		return i, j, ok
+	}
+	for k := range eng.tgts {
+		eng.eachMinDistPair(eng.tgts[k].Attr.Of, eng.tgts[k].Attr.DomainSize(), consider)
+	}
+	return i, j, ok
+}
+
+// findBestAdjacentSwap scans the n-1 adjacent position pairs and returns the
+// one whose swap (a single-win transfer under every target) best reduces
+// (total violation, band excess) lexicographically. ok is false when no
+// adjacent swap improves — RepairToLevels then falls back to a
+// minimum-distance transfer.
+func (eng *parityEngine) findBestAdjacentSwap(cur float64) (pos int, ok bool) {
+	bestP := cur
+	bestB := eng.band()
+	for p := 0; p+1 < len(eng.r); p++ {
+		pp := eng.potentialAfter(p, p+1)
+		if pp > bestP+1e-15 {
+			continue
+		}
+		b := eng.bandAfter(p, p+1)
+		if pp < bestP-1e-15 || b < bestB-1e-15 {
+			bestP, bestB = pp, b
+			pos, ok = p, true
+		}
+	}
+	return pos, ok
+}
+
+// eachMinDistPair invokes fn on, for every ordered group pair (a, b) of the
+// grouping `of`, the closest positioned pair with an a-member directly above
+// a b-member. One bottom-up scan in O(n*g) plus O(g^2) emissions.
+func (eng *parityEngine) eachMinDistPair(of []int, g int, fn func(i, j int)) {
+	n := len(eng.r)
+	const none = -1
+	minD := make([]int, g*g)
+	pairPos := make([][2]int, g*g)
+	for idx := range minD {
+		minD[idx] = none
+	}
+	nearestBelow := make([]int, g)
+	for v := range nearestBelow {
+		nearestBelow[v] = none
+	}
+	for p := n - 1; p >= 0; p-- {
+		a := of[eng.r[p]]
+		for b := 0; b < g; b++ {
+			if b == a || nearestBelow[b] == none {
+				continue
+			}
+			if d := nearestBelow[b] - p; minD[a*g+b] == none || d < minD[a*g+b] {
+				minD[a*g+b] = d
+				pairPos[a*g+b] = [2]int{p, nearestBelow[b]}
+			}
+		}
+		nearestBelow[a] = p
+	}
+	for idx := range minD {
+		if minD[idx] != none {
+			fn(pairPos[idx][0], pairPos[idx][1])
+		}
+	}
+}
+
+// gapAfterSwap predicts the absolute FPR gap between groups vh and vl of
+// target k after swapping a vh member above a vl member at position distance
+// d. Such a swap transfers exactly d mixed-pair wins from vh to vl and
+// leaves every other group's wins unchanged.
+func (eng *parityEngine) gapAfterSwap(k, vh, vl, d int) float64 {
+	fh := eng.fpr(k, vh)
+	if eng.omegaM[k][vh] != 0 {
+		fh = float64(eng.wins[k][vh]-d) / float64(eng.omegaM[k][vh])
+	}
+	fl := eng.fpr(k, vl)
+	if eng.omegaM[k][vl] != 0 {
+		fl = float64(eng.wins[k][vl]+d) / float64(eng.omegaM[k][vl])
+	}
+	if fh < fl {
+		return fl - fh
+	}
+	return fh - fl
+}
+
+// swap exchanges the candidates at positions i < j and updates every
+// target's win counts incrementally in O((j-i) * len(targets)).
+func (eng *parityEngine) swap(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	a, b := eng.r[i], eng.r[j] // a moves down to j, b moves up to i
+	for k, tg := range eng.tgts {
+		of := tg.Attr.Of
+		va, vb := of[a], of[b]
+		w := eng.wins[k]
+		if va != vb {
+			w[va]--
+			w[vb]++
+		}
+		for p := i + 1; p < j; p++ {
+			vc := of[eng.r[p]]
+			if vc != va { // a drops below the middle candidate
+				w[va]--
+				w[vc]++
+			}
+			if vc != vb { // b rises above the middle candidate
+				w[vb]++
+				w[vc]--
+			}
+		}
+	}
+	eng.r[i], eng.r[j] = b, a
+	eng.pos[a], eng.pos[b] = j, i
+}
+
+// Ranking returns the engine's current working ranking (shared storage).
+func (eng *parityEngine) Ranking() ranking.Ranking { return eng.r }

@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"manirank/internal/aggregate"
+	"manirank/internal/core"
+	"manirank/internal/mallows"
+	"manirank/internal/unfairgen"
+)
+
+func TestProfileLargeRepair(t *testing.T) {
+	for _, n := range []int{1000, 10000, 20000} {
+		tab, err := unfairgen.BinaryTable(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		modal, err := unfairgen.CalibratedBinaryModal(tab, 0.44, 0.31, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := mallows.MustNewPlackettLuce(modal, 0.6)
+		p := pl.SampleProfile(100, rng)
+		targets := core.Targets(tab, 0.33)
+		borda, err := aggregate.Borda(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := time.Now()
+		_, swaps, err := core.MakeMRFairWithPolicy(borda, targets, core.PolicyImpactful)
+		fmt.Printf("n=%d: swaps=%d err=%v time=%v\n", n, swaps, err, time.Since(t0))
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"manirank/internal/aggregate"
+	"manirank/internal/fairness"
+	"manirank/internal/kemeny"
+	"manirank/internal/ranking"
+)
+
+// Options configures the MFCR solvers.
+type Options struct {
+	// Kemeny tunes the Kemeny engines used by FairKemeny and the
+	// fairness-unaware Kemeny baseline.
+	Kemeny aggregate.KemenyOptions
+}
+
+// FairBorda solves MFCR with the Borda aggregator followed by Make-MR-Fair
+// (paper Section III-B). It is the fastest MFCR method, O(n*|R| + n log n)
+// plus the repair cost.
+func FairBorda(p ranking.Profile, targets []Target) (ranking.Ranking, error) {
+	c, err := aggregate.Borda(p)
+	if err != nil {
+		return nil, err
+	}
+	return MakeMRFair(c, targets)
+}
+
+// FairCopeland solves MFCR with the Copeland pairwise-contest aggregator
+// followed by Make-MR-Fair (paper Section III-B).
+func FairCopeland(p ranking.Profile, targets []Target) (ranking.Ranking, error) {
+	w, err := ranking.NewPrecedence(p)
+	if err != nil {
+		return nil, err
+	}
+	return MakeMRFair(aggregate.Copeland(w), targets)
+}
+
+// FairCopelandW is FairCopeland on a precomputed precedence matrix.
+func FairCopelandW(w *ranking.Precedence, targets []Target) (ranking.Ranking, error) {
+	return MakeMRFair(aggregate.Copeland(w), targets)
+}
+
+// FairSchulze solves MFCR with the Schulze strongest-path aggregator
+// followed by Make-MR-Fair (paper Section III-B).
+func FairSchulze(p ranking.Profile, targets []Target) (ranking.Ranking, error) {
+	w, err := ranking.NewPrecedence(p)
+	if err != nil {
+		return nil, err
+	}
+	return MakeMRFair(aggregate.Schulze(w), targets)
+}
+
+// FairSchulzeW is FairSchulze on a precomputed precedence matrix.
+func FairSchulzeW(w *ranking.Precedence, targets []Target) (ranking.Ranking, error) {
+	return MakeMRFair(aggregate.Schulze(w), targets)
+}
+
+// FairKemeny solves MFCR by minimising pairwise disagreement subject to the
+// MANI-Rank targets (paper Algorithm 1). For n at or below the exact
+// threshold it runs the constrained branch-and-bound (this repo's CPLEX
+// substitute) seeded with a Make-MR-Fair repaired incumbent and returns the
+// provably optimal fair consensus; for larger n it runs constrained local
+// search from the same incumbent (see DESIGN.md, Substitutions).
+func FairKemeny(p ranking.Profile, targets []Target, opts Options) (ranking.Ranking, error) {
+	w, err := ranking.NewPrecedence(p)
+	if err != nil {
+		return nil, err
+	}
+	return FairKemenyW(w, targets, opts)
+}
+
+// FairKemenyW is FairKemeny on a precomputed precedence matrix.
+func FairKemenyW(w *ranking.Precedence, targets []Target, opts Options) (ranking.Ranking, error) {
+	kopts := opts.Kemeny
+	if kopts.ExactThreshold == 0 {
+		kopts = aggregate.DefaultKemenyOptions()
+	}
+	unfair := aggregate.Kemeny(w, kopts)
+	incumbent, err := MakeMRFair(unfair, targets)
+	if err != nil {
+		return nil, fmt.Errorf("core: FairKemeny could not build a feasible incumbent: %w", err)
+	}
+	cons := constraints(targets)
+	if w.N() <= kopts.ExactThreshold {
+		res := kemeny.BranchAndBound(w, cons, incumbent, kopts.MaxNodes)
+		if res.Ranking != nil {
+			return res.Ranking, nil
+		}
+	}
+	return kemeny.ConstrainedLocalSearch(w, cons, incumbent), nil
+}
+
+// PickFairest returns the base ranking minimising the maximum violation of
+// the given targets (ties to the earlier ranking).
+func PickFairest(p ranking.Profile, targets []Target) (ranking.Ranking, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	best, bestViol := -1, 0.0
+	for i, r := range p {
+		v := 0.0
+		for _, tg := range targets {
+			if s := fairness.ARP(r, tg.Attr); s > v {
+				v = s
+			}
+		}
+		if best < 0 || v < bestViol {
+			best, bestViol = i, v
+		}
+	}
+	return p[best].Clone(), nil
+}
+
+// CorrectFairestPerm is the paper's Correct-Fairest-Perm baseline (Section
+// IV-B): pick the fairest base ranking, then repair it with Make-MR-Fair so
+// it satisfies the targets.
+func CorrectFairestPerm(p ranking.Profile, targets []Target) (ranking.Ranking, error) {
+	r, err := PickFairest(p, targets)
+	if err != nil {
+		return nil, err
+	}
+	return MakeMRFair(r, targets)
+}
+
+// PriceOfFairness returns PoF = PDLoss(R, fair) - PDLoss(R, unfair), the
+// preference-representation cost of imposing fairness (paper Eq. 13). It is
+// >= 0 whenever unfair is the unconstrained consensus of the same method.
+func PriceOfFairness(p ranking.Profile, fair, unfair ranking.Ranking) float64 {
+	return ranking.PDLoss(p, fair) - ranking.PDLoss(p, unfair)
+}
+
+// PriceOfFairnessW computes PoF from a precedence matrix.
+func PriceOfFairnessW(w *ranking.Precedence, fair, unfair ranking.Ranking) float64 {
+	return w.PDLoss(fair) - w.PDLoss(unfair)
+}

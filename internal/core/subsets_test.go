@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"manirank/internal/attribute"
+	"manirank/internal/fairness"
+)
+
+// threeAttrTable builds a Gender(2) x Race(2) x Lunch(2) table.
+func threeAttrTable(t *testing.T, n int) *attribute.Table {
+	t.Helper()
+	g := make([]int, n)
+	r := make([]int, n)
+	l := make([]int, n)
+	for c := 0; c < n; c++ {
+		g[c] = c % 2
+		r[c] = (c / 2) % 2
+		l[c] = (c / 4) % 2
+	}
+	ag, err := attribute.NewAttribute("Gender", []string{"M", "W"}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := attribute.NewAttribute("Race", []string{"A", "B"}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := attribute.NewAttribute("Lunch", []string{"N", "S"}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := attribute.NewTable(n, ag, ar, al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTargetsWithSubsets(t *testing.T) {
+	tab := threeAttrTable(t, 32)
+	targets, err := TargetsWithSubsets(tab, 0.2, []string{"Gender", "Race"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 attributes + full intersection + 1 subset.
+	if len(targets) != 5 {
+		t.Fatalf("%d targets, want 5", len(targets))
+	}
+	sub := targets[4].Attr
+	if sub.DomainSize() != 4 {
+		t.Fatalf("Gender x Race subset has %d groups, want 4", sub.DomainSize())
+	}
+	if _, err := TargetsWithSubsets(tab, 0.2, []string{"Nope"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestRepairSatisfiesSubsetTargets(t *testing.T) {
+	tab := threeAttrTable(t, 64)
+	targets, err := TargetsWithSubsets(tab, 0.2, []string{"Gender", "Lunch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MakeMRFair(blockRanking(tab), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range targets {
+		if got := fairness.ARP(out, tg.Attr); got > tg.Delta+1e-9 {
+			t.Errorf("%s spread %.3f above %.2f", tg.Attr.Name, got, tg.Delta)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"manirank/internal/aggregate"
+	"manirank/internal/attribute"
+	"manirank/internal/core"
+	"manirank/internal/fairness"
+	"manirank/internal/ranking"
+	"manirank/internal/unfairgen"
+)
+
+// Table4 regenerates paper Table IV, the student merit scholarship case
+// study: FPR scores for every protected group and ARP/IRP for every base
+// ranking (math, reading, writing), the fairness-unaware Kemeny consensus,
+// and the four MFCR methods at Delta = 0.05.
+func Table4(cfg Config) error {
+	n := 200
+	if cfg.Quick {
+		n = 120
+	}
+	study, err := unfairgen.NewExamStudy(n, cfg.Seed+40)
+	if err != nil {
+		return err
+	}
+	return caseStudyTable(cfg, study.Table, study.Profile, study.Subjects, 0.05)
+}
+
+// Table5 regenerates paper Table V, the CSRankings case study: 21 yearly
+// department rankings over Location(4) x Type(2), the Kemeny consensus, and
+// the MFCR methods at Delta = 0.05.
+func Table5(cfg Config) error {
+	study, err := unfairgen.NewCSRankingsStudy(cfg.Seed + 50)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(study.Years))
+	for i, y := range study.Years {
+		labels[i] = fmt.Sprintf("%d", y)
+	}
+	return caseStudyTable(cfg, study.Table, study.Profile, labels, 0.05)
+}
+
+// caseStudyTable prints the paper's case-study layout: one row per base
+// ranking and per consensus method, with group FPR columns followed by
+// per-attribute ARP columns and IRP.
+func caseStudyTable(cfg Config, tab *attribute.Table, p ranking.Profile, labels []string, delta float64) error {
+	ctx, err := newRunCtx(p, tab, delta)
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(cfg.out())
+
+	header := "Ranking"
+	for _, a := range tab.Attrs() {
+		for _, v := range a.Values {
+			header += "\t" + v
+		}
+		header += "\t" + a.Name
+	}
+	header += "\tIRP"
+	fmt.Fprintln(tw, header)
+
+	row := func(name string, r ranking.Ranking) {
+		rep := fairness.Audit(r, tab)
+		line := name
+		for i := range tab.Attrs() {
+			for _, f := range rep.FPRs[i] {
+				line += fmt.Sprintf("\t%.2f", f)
+			}
+			line += fmt.Sprintf("\t%.2f", rep.ARPs[i])
+		}
+		line += fmt.Sprintf("\t%.2f", rep.IRP)
+		fmt.Fprintln(tw, line)
+	}
+
+	for i, r := range p {
+		row(labels[i], r)
+	}
+	kopts := kemenyOptions()
+	row("Kemeny", aggregate.Kemeny(ctx.w, kopts))
+	solvers := []struct {
+		name string
+		run  func() (ranking.Ranking, error)
+	}{
+		{"Fair-Kemeny", func() (ranking.Ranking, error) {
+			return core.FairKemenyW(ctx.w, ctx.targets, core.Options{Kemeny: kopts})
+		}},
+		{"Fair-Schulze", func() (ranking.Ranking, error) { return core.FairSchulzeW(ctx.w, ctx.targets) }},
+		{"Fair-Borda", func() (ranking.Ranking, error) { return core.FairBorda(ctx.p, ctx.targets) }},
+		{"Fair-Copeland", func() (ranking.Ranking, error) { return core.FairCopelandW(ctx.w, ctx.targets) }},
+	}
+	for _, s := range solvers {
+		r, err := s.run()
+		if err != nil {
+			return fmt.Errorf("experiments: case study %s: %w", s.name, err)
+		}
+		row(s.name, r)
+	}
+	return tw.Flush()
+}
+
+// Run executes the experiment with the given id ("table1", "fig3", ...,
+// "all"). Unknown ids return an error listing the valid ones.
+func Run(id string, cfg Config) error {
+	runners := map[string]func(Config) error{
+		"table1": Table1,
+		"fig2":   Fig2,
+		"fig3":   Fig3,
+		"fig4":   Fig4,
+		"fig5":   Fig5,
+		"fig6":   Fig6,
+		"fig7":   Fig7,
+		"table2": Table2,
+		"table3": Table3,
+		"table4": Table4,
+		"table5": Table5,
+	}
+	if id == "all" {
+		for _, name := range ExperimentIDs() {
+			fmt.Fprintf(cfg.out(), "==== %s ====\n", name)
+			if err := runners[name](cfg); err != nil {
+				return err
+			}
+			fmt.Fprintln(cfg.out())
+		}
+		return nil
+	}
+	run, ok := runners[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (valid: %v, all)", id, ExperimentIDs())
+	}
+	return run(cfg)
+}
+
+// ExperimentIDs lists every runnable experiment in presentation order.
+func ExperimentIDs() []string {
+	return []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table2", "table3", "table4", "table5"}
+}

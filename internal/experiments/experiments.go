@@ -1,0 +1,163 @@
+// Package experiments regenerates every table and figure of the MANI-Rank
+// paper's evaluation (Section IV and the appendix): one runner per artifact,
+// each printing the same rows/series the paper reports. DESIGN.md maps each
+// experiment id to its workload, parameters, and modules; EXPERIMENTS.md
+// records paper-reported versus measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"manirank/internal/aggregate"
+	"manirank/internal/attribute"
+	"manirank/internal/core"
+	"manirank/internal/fairness"
+	"manirank/internal/mallows"
+	"manirank/internal/ranking"
+	"manirank/internal/unfairgen"
+)
+
+// Config tunes an experiment run. The zero value runs at paper scale with
+// seed 1.
+type Config struct {
+	// Seed drives every random component; runs are reproducible per seed.
+	Seed int64
+	// Out receives the printed table (defaults to io.Discard if nil; the
+	// CLI passes os.Stdout).
+	Out io.Writer
+	// Quick shrinks the heaviest workloads (fewer rankers, smaller candidate
+	// counts) so the full suite finishes in seconds — used by `go test` and
+	// the benchmark harness. Paper-scale runs leave it false.
+	Quick bool
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed + 1)) }
+
+// thetas is the consensus sweep used throughout the paper's figures.
+var thetas = []float64{0.2, 0.4, 0.6, 0.8}
+
+// kemenyOptions returns solver options sized to the experiment scale.
+func kemenyOptions() aggregate.KemenyOptions {
+	return aggregate.KemenyOptions{ExactThreshold: 12, MaxNodes: 2_000_000}
+}
+
+// methodResult is one method's outcome on one consensus problem.
+type methodResult struct {
+	ID      string
+	Name    string
+	Ranking ranking.Ranking
+	Err     error
+}
+
+// runCtx bundles one consensus problem instance.
+type runCtx struct {
+	p       ranking.Profile
+	w       *ranking.Precedence
+	tab     *attribute.Table
+	targets []core.Target
+}
+
+func newRunCtx(p ranking.Profile, tab *attribute.Table, delta float64) (*runCtx, error) {
+	w, err := ranking.NewPrecedence(p)
+	if err != nil {
+		return nil, err
+	}
+	return &runCtx{p: p, w: w, tab: tab, targets: core.Targets(tab, delta)}, nil
+}
+
+// method is one consensus generation strategy in the paper's comparison,
+// labelled with the paper's A1-A4 (proposed) / B1-B4 (baseline) ids.
+type method struct {
+	ID   string
+	Name string
+	Run  func(*runCtx) (ranking.Ranking, error)
+}
+
+// allMethods returns the paper's eight-method comparison set (Fig. 4, 6, 7).
+// Every method's Run is self-contained — pairwise methods build their own
+// precedence matrix from the profile — so the scalability figures time the
+// same end-to-end work the paper measures.
+func allMethods() []method {
+	opts := core.Options{Kemeny: kemenyOptions()}
+	return []method{
+		{"A1", "Fair-Kemeny", func(c *runCtx) (ranking.Ranking, error) {
+			w, err := ranking.NewPrecedence(c.p)
+			if err != nil {
+				return nil, err
+			}
+			return core.FairKemenyW(w, c.targets, opts)
+		}},
+		{"A2", "Fair-Schulze", func(c *runCtx) (ranking.Ranking, error) {
+			return core.FairSchulze(c.p, c.targets)
+		}},
+		{"A3", "Fair-Borda", func(c *runCtx) (ranking.Ranking, error) {
+			return core.FairBorda(c.p, c.targets)
+		}},
+		{"A4", "Fair-Copeland", func(c *runCtx) (ranking.Ranking, error) {
+			return core.FairCopeland(c.p, c.targets)
+		}},
+		{"B1", "Kemeny", func(c *runCtx) (ranking.Ranking, error) {
+			w, err := ranking.NewPrecedence(c.p)
+			if err != nil {
+				return nil, err
+			}
+			return aggregate.Kemeny(w, kemenyOptions()), nil
+		}},
+		{"B2", "Kemeny-Weighted", func(c *runCtx) (ranking.Ranking, error) {
+			return aggregate.KemenyWeighted(c.p, c.tab, kemenyOptions())
+		}},
+		{"B3", "Pick-Fairest-Perm", func(c *runCtx) (ranking.Ranking, error) {
+			return aggregate.PickFairestPerm(c.p, c.tab)
+		}},
+		{"B4", "Correct-Fairest-Perm", func(c *runCtx) (ranking.Ranking, error) {
+			return core.CorrectFairestPerm(c.p, c.targets)
+		}},
+	}
+}
+
+// tableIModal builds the named Table I modal ranking over the paper's
+// 90-candidate Gender(3) x Race(5) database.
+func tableIModal(name string) (*attribute.Table, ranking.Ranking, error) {
+	tab, err := unfairgen.PaperTable(90)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, spec := range unfairgen.TableIDatasets() {
+		if spec.Name == name {
+			modal, err := unfairgen.TargetModal(tab, spec.Levels)
+			return tab, modal, err
+		}
+	}
+	return nil, nil, fmt.Errorf("experiments: unknown Table I dataset %q", name)
+}
+
+// sampleProfile draws |R| base rankings around modal at spread theta.
+func sampleProfile(modal ranking.Ranking, theta float64, m int, rng *rand.Rand) ranking.Profile {
+	return mallows.MustNew(modal, theta).SampleProfile(m, rng)
+}
+
+// newTabWriter returns a tabwriter aligned for experiment tables.
+func newTabWriter(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}
+
+// auditCols formats the (ARP..., IRP) columns of a ranking for printing.
+func auditCols(r ranking.Ranking, tab *attribute.Table) string {
+	rep := fairness.Audit(r, tab)
+	s := ""
+	for _, v := range rep.ARPs {
+		s += fmt.Sprintf("%.3f\t", v)
+	}
+	s += fmt.Sprintf("%.3f", rep.IRP)
+	return s
+}

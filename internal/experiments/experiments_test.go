@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{Seed: 1, Out: buf, Quick: true}
+}
+
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && (id == "fig3" || id == "fig7" || id == "table2") {
+				t.Skip("heavy even in quick mode")
+			}
+			var buf bytes.Buffer
+			if err := Run(id, quickCfg(&buf)); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownID(t *testing.T) {
+	if err := Run("fig99", Config{Quick: true}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestTable1ReportsThreeDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"Low-Fair", "Medium-Fair", "High-Fair"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing dataset %q in output:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig4ReportsAllMethods(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"A1", "A2", "A3", "A4", "B1", "B2", "B3", "B4"} {
+		if !strings.Contains(out, "("+id+")") {
+			t.Errorf("missing method %s in fig4 output", id)
+		}
+	}
+}
+
+func TestFig2ShowsFairnessContrast(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig2(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Kemeny") || !strings.Contains(out, "MANI-Rank") {
+		t.Fatalf("fig2 output incomplete:\n%s", out)
+	}
+}
+
+func TestTable4HasCaseStudyRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table4(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, rowName := range []string{"Math", "Reading", "Writing", "Kemeny", "Fair-Kemeny", "Fair-Borda"} {
+		if !strings.Contains(out, rowName) {
+			t.Errorf("missing row %q in table4 output", rowName)
+		}
+	}
+}
+
+func TestTable5HasYearRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table5(quickCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, rowName := range []string{"2000", "2020", "Kemeny", "Fair-Copeland"} {
+		if !strings.Contains(out, rowName) {
+			t.Errorf("missing row %q in table5 output", rowName)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"manirank/internal/attribute"
+	"manirank/internal/core"
+	"manirank/internal/mallows"
+	"manirank/internal/ranking"
+	"manirank/internal/unfairgen"
+)
+
+// fig6Modal builds the scalability study's modal ranking: a binary
+// Gender(2) x Race(2) database with modal ARP(Race)=0.15, ARP(Gender)=0.70
+// (paper Section IV-D, Fig. 6 / Table II dataset).
+func fig6Modal(n int, cfg Config) (*runCtxSeed, error) {
+	tab, err := unfairgen.BinaryTable(n)
+	if err != nil {
+		return nil, err
+	}
+	rng := cfg.rng()
+	modal, err := unfairgen.CalibratedBinaryModal(tab, 0.70, 0.15, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &runCtxSeed{tab: tab, modal: modal, cfg: cfg}, nil
+}
+
+// fig7Modal builds the candidate-scalability modal: ARP(Race)=0.31,
+// ARP(Gender)=0.44 (paper Fig. 7 / Table III dataset).
+func fig7Modal(n int, cfg Config) (*runCtxSeed, error) {
+	tab, err := unfairgen.BinaryTable(n)
+	if err != nil {
+		return nil, err
+	}
+	rng := cfg.rng()
+	modal, err := unfairgen.CalibratedBinaryModal(tab, 0.44, 0.31, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &runCtxSeed{tab: tab, modal: modal, cfg: cfg}, nil
+}
+
+type runCtxSeed struct {
+	tab   *attribute.Table
+	modal ranking.Ranking
+	cfg   Config
+}
+
+// Fig6 regenerates paper Figure 6: runtime of all eight methods as the
+// number of base rankings grows (n = 100 candidates, theta = 0.6,
+// Delta = 0.1). Base rankings are drawn with the O(n log n) Plackett-Luce
+// sampler so generation does not dominate the measured aggregation times.
+func Fig6(cfg Config) error {
+	sizes := []int{1000, 5000, 10000, 20000}
+	if cfg.Quick {
+		sizes = []int{200, 500}
+	}
+	seed, err := fig6Modal(100, cfg)
+	if err != nil {
+		return err
+	}
+	rng := cfg.rng()
+	pl := mallows.MustNewPlackettLuce(seed.modal, 0.6)
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "|R|\tMethod\tRuntime\tPD_Loss")
+	for _, m := range sizes {
+		p := pl.SampleProfile(m, rng)
+		ctx, err := newRunCtx(p, seed.tab, 0.1)
+		if err != nil {
+			return err
+		}
+		for _, meth := range allMethods() {
+			start := time.Now()
+			r, err := meth.Run(ctx)
+			elapsed := time.Since(start)
+			if err != nil {
+				return fmt.Errorf("experiments: fig6 |R|=%d %s: %w", m, meth.Name, err)
+			}
+			fmt.Fprintf(tw, "%d\t(%s) %s\t%v\t%.3f\n", m, meth.ID, meth.Name, elapsed.Round(time.Microsecond), ctx.w.PDLoss(r))
+		}
+	}
+	return tw.Flush()
+}
+
+// Table2 regenerates paper Table II: Fair-Borda execution time for very
+// large numbers of base rankings (up to 10^7 at paper scale). Following the
+// measurement's intent — aggregation cost, not data generation cost — the
+// profile cycles a pre-sampled pool of rankings up to the requested size.
+func Table2(cfg Config) error {
+	sizes := []int{1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+	if cfg.Quick {
+		sizes = []int{1_000, 10_000, 100_000}
+	}
+	seed, err := fig6Modal(100, cfg)
+	if err != nil {
+		return err
+	}
+	rng := cfg.rng()
+	pl := mallows.MustNewPlackettLuce(seed.modal, 0.6)
+	const poolSize = 10_000
+	pool := pl.SampleProfile(poolSize, rng)
+	targets := core.Targets(seed.tab, 0.1)
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "|R| Number of Rankings\tExecution time (s)")
+	for _, m := range sizes {
+		p := make(ranking.Profile, m)
+		for i := range p {
+			p[i] = pool[i%poolSize]
+		}
+		start := time.Now()
+		if _, err := core.FairBorda(p, targets); err != nil {
+			return fmt.Errorf("experiments: table2 |R|=%d: %w", m, err)
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\n", m, time.Since(start).Seconds())
+	}
+	return tw.Flush()
+}
+
+// Fig7 regenerates paper Figure 7: runtime of all eight methods as the
+// candidate count grows (|R| = 100, theta = 0.6), under a tight Delta = 0.1
+// and a looser Delta = 0.33.
+func Fig7(cfg Config) error {
+	sizes := []int{100, 200, 300, 400, 500}
+	if cfg.Quick {
+		sizes = []int{60, 100}
+	}
+	rng := cfg.rng()
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "Delta\tCandidates\tMethod\tRuntime\tPD_Loss")
+	for _, delta := range []float64{0.1, 0.33} {
+		for _, n := range sizes {
+			seed, err := fig7Modal(n, cfg)
+			if err != nil {
+				return err
+			}
+			pl := mallows.MustNewPlackettLuce(seed.modal, 0.6)
+			p := pl.SampleProfile(100, rng)
+			ctx, err := newRunCtx(p, seed.tab, delta)
+			if err != nil {
+				return err
+			}
+			for _, meth := range allMethods() {
+				start := time.Now()
+				r, err := meth.Run(ctx)
+				elapsed := time.Since(start)
+				if err != nil {
+					return fmt.Errorf("experiments: fig7 n=%d delta=%.2f %s: %w", n, delta, meth.Name, err)
+				}
+				fmt.Fprintf(tw, "%.2f\t%d\t(%s) %s\t%v\t%.3f\n", delta, n, meth.ID, meth.Name, elapsed.Round(time.Microsecond), ctx.w.PDLoss(r))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Table3 regenerates paper Table III: Fair-Borda execution time for large
+// candidate databases at Delta = 0.33 (|R| = 100, theta = 0.6).
+func Table3(cfg Config) error {
+	sizes := []int{1_000, 10_000, 20_000, 50_000, 100_000}
+	if cfg.Quick {
+		sizes = []int{1_000, 4_000}
+	}
+	rng := cfg.rng()
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "|X| Number of Candidates\tExecution time (s)")
+	for _, n := range sizes {
+		seed, err := fig7Modal(n, cfg)
+		if err != nil {
+			return err
+		}
+		pl := mallows.MustNewPlackettLuce(seed.modal, 0.6)
+		p := pl.SampleProfile(100, rng)
+		targets := core.Targets(seed.tab, 0.33)
+		start := time.Now()
+		r, err := core.FairBorda(p, targets)
+		if err != nil {
+			return fmt.Errorf("experiments: table3 n=%d: %w", n, err)
+		}
+		elapsed := time.Since(start)
+		if v, _ := core.MaxViolation(r, targets); v > 0 {
+			return fmt.Errorf("experiments: table3 n=%d: output violates targets by %v", n, v)
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\n", n, elapsed.Seconds())
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"manirank/internal/aggregate"
+	"manirank/internal/core"
+	"manirank/internal/fairness"
+	"manirank/internal/ranking"
+	"manirank/internal/unfairgen"
+)
+
+// Table1 regenerates paper Table I: the fairness metrics of the Low/Medium/
+// High-Fair Mallows modal rankings (|R|=150 rankings are later drawn over 90
+// candidates, 15 intersectional groups from Race(5) x Gender(3)).
+func Table1(cfg Config) error {
+	tab, err := unfairgen.PaperTable(90)
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "Mallows Dataset\tARP_Gender\tARP_Race\tIRP")
+	for _, spec := range unfairgen.TableIDatasets() {
+		modal, err := unfairgen.TargetModal(tab, spec.Levels)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", spec.Name, err)
+		}
+		rep := fairness.Audit(modal, tab)
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\n", spec.Name, rep.ARPs[0], rep.ARPs[1], rep.IRP)
+	}
+	return tw.Flush()
+}
+
+// Fig3 regenerates paper Figure 3: comparing alternate group fairness
+// constraint sets inside Fair-Kemeny (protected-attribute only, intersection
+// only, full MANI-Rank) plus fairness-unaware Kemeny, across the three
+// Table I datasets and the theta consensus sweep, at Delta = 0.1. For each
+// cell it reports the consensus ranking's ARP Gender / ARP Race / IRP.
+func Fig3(cfg Config) error {
+	rankers := 150
+	if cfg.Quick {
+		rankers = 40
+	}
+	rng := cfg.rng()
+	kopts := kemenyOptions()
+	approaches := []struct {
+		name    string
+		targets func(c *runCtx) []core.Target
+	}{
+		{"Kemeny (unaware)", func(*runCtx) []core.Target { return nil }},
+		{"Attribute-only", func(c *runCtx) []core.Target { return core.AttributeTargets(c.tab, 0.1) }},
+		{"Intersection-only", func(c *runCtx) []core.Target { return core.IntersectionTarget(c.tab, 0.1) }},
+		{"MANI-Rank", func(c *runCtx) []core.Target { return core.Targets(c.tab, 0.1) }},
+	}
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "Dataset\tTheta\tApproach\tARP_Gender\tARP_Race\tIRP")
+	for _, spec := range unfairgen.TableIDatasets() {
+		tab, modal, err := tableIModal(spec.Name)
+		if err != nil {
+			return err
+		}
+		for _, theta := range thetas {
+			p := sampleProfile(modal, theta, rankers, rng)
+			ctx, err := newRunCtx(p, tab, 0.1)
+			if err != nil {
+				return err
+			}
+			for _, ap := range approaches {
+				targets := ap.targets(ctx)
+				var r ranking.Ranking
+				if len(targets) == 0 {
+					r = aggregate.Kemeny(ctx.w, kopts)
+				} else {
+					r, err = core.FairKemenyW(ctx.w, targets, core.Options{Kemeny: kopts})
+					if err != nil {
+						return fmt.Errorf("experiments: fig3 %s theta=%.1f %s: %w", spec.Name, theta, ap.name, err)
+					}
+				}
+				fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\n", spec.Name, theta, ap.name, auditCols(r, tab))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig4 regenerates paper Figure 4: the eight-method comparison on the
+// Low-Fair dataset with Delta = 0.1, reporting PD loss, ARP Gender, ARP
+// Race and IRP for each theta.
+func Fig4(cfg Config) error {
+	rankers := 150
+	if cfg.Quick {
+		rankers = 40
+	}
+	rng := cfg.rng()
+	tab, modal, err := tableIModal("Low-Fair")
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "Theta\tMethod\tPD_Loss\tARP_Gender\tARP_Race\tIRP")
+	for _, theta := range thetas {
+		p := sampleProfile(modal, theta, rankers, rng)
+		ctx, err := newRunCtx(p, tab, 0.1)
+		if err != nil {
+			return err
+		}
+		for _, m := range allMethods() {
+			r, err := m.Run(ctx)
+			if err != nil {
+				return fmt.Errorf("experiments: fig4 theta=%.1f %s: %w", theta, m.Name, err)
+			}
+			fmt.Fprintf(tw, "%.1f\t(%s) %s\t%.3f\t%s\n", theta, m.ID, m.Name, ctx.w.PDLoss(r), auditCols(r, tab))
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig5 regenerates paper Figure 5, both panels. Left: Fair-Kemeny's Price of
+// Fairness versus theta on the three Table I datasets (Delta = 0.1). Right:
+// PoF versus the Delta parameter on the Low-Fair dataset at theta = 0.6 for
+// the four proposed methods plus Correct-Fairest-Perm.
+func Fig5(cfg Config) error {
+	rankers := 150
+	if cfg.Quick {
+		rankers = 40
+	}
+	rng := cfg.rng()
+	kopts := kemenyOptions()
+	out := cfg.out()
+
+	tw := newTabWriter(out)
+	fmt.Fprintln(tw, "Panel A: Fair-Kemeny PoF vs theta (Delta = 0.1)")
+	fmt.Fprintln(tw, "Dataset\tTheta\tPoF")
+	for _, spec := range unfairgen.TableIDatasets() {
+		tab, modal, err := tableIModal(spec.Name)
+		if err != nil {
+			return err
+		}
+		for _, theta := range thetas {
+			p := sampleProfile(modal, theta, rankers, rng)
+			ctx, err := newRunCtx(p, tab, 0.1)
+			if err != nil {
+				return err
+			}
+			unfair := aggregate.Kemeny(ctx.w, kopts)
+			fair, err := core.FairKemenyW(ctx.w, ctx.targets, core.Options{Kemeny: kopts})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%.1f\t%.4f\n", spec.Name, theta, core.PriceOfFairnessW(ctx.w, fair, unfair))
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	tw = newTabWriter(out)
+	fmt.Fprintln(tw, "\nPanel B: Delta vs PoF (Low-Fair, theta = 0.6)")
+	fmt.Fprintln(tw, "Delta\tMethod\tPoF")
+	tab, modal, err := tableIModal("Low-Fair")
+	if err != nil {
+		return err
+	}
+	p := sampleProfile(modal, 0.6, rankers, rng)
+	w, err := ranking.NewPrecedence(p)
+	if err != nil {
+		return err
+	}
+	unfair := aggregate.Kemeny(w, kopts)
+	deltaMethods := []struct {
+		id   string
+		name string
+		run  func(targets []core.Target) (ranking.Ranking, error)
+	}{
+		{"A1", "Fair-Kemeny", func(t []core.Target) (ranking.Ranking, error) {
+			return core.FairKemenyW(w, t, core.Options{Kemeny: kopts})
+		}},
+		{"A2", "Fair-Schulze", func(t []core.Target) (ranking.Ranking, error) { return core.FairSchulzeW(w, t) }},
+		{"A3", "Fair-Borda", func(t []core.Target) (ranking.Ranking, error) { return core.FairBorda(p, t) }},
+		{"A4", "Fair-Copeland", func(t []core.Target) (ranking.Ranking, error) { return core.FairCopelandW(w, t) }},
+		{"B4", "Correct-Fairest-Perm", func(t []core.Target) (ranking.Ranking, error) {
+			return core.CorrectFairestPerm(p, t)
+		}},
+	}
+	for _, delta := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		targets := core.Targets(tab, delta)
+		for _, dm := range deltaMethods {
+			fair, err := dm.run(targets)
+			if err != nil {
+				return fmt.Errorf("experiments: fig5 delta=%.1f %s: %w", delta, dm.name, err)
+			}
+			fmt.Fprintf(tw, "%.1f\t(%s) %s\t%.4f\n", delta, dm.id, dm.name, core.PriceOfFairnessW(w, fair, unfair))
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig2 regenerates the paper's Figure 2 contrast on the admissions example:
+// the fairness-unaware Kemeny consensus versus the MANI-Rank consensus
+// (Fair-Kemeny at Delta = 0.1) over the 45-candidate committee profile.
+func Fig2(cfg Config) error {
+	study, err := unfairgen.NewAdmissionsStudy(cfg.Seed + 20)
+	if err != nil {
+		return err
+	}
+	ctx, err := newRunCtx(study.Profile, study.Table, 0.1)
+	if err != nil {
+		return err
+	}
+	kopts := kemenyOptions()
+	kem := aggregate.Kemeny(ctx.w, kopts)
+	fair, err := core.FairKemenyW(ctx.w, ctx.targets, core.Options{Kemeny: kopts})
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "Consensus\tARP_Gender\tARP_Race\tIRP\tPD_Loss")
+	fmt.Fprintf(tw, "Kemeny\t%s\t%.3f\n", auditCols(kem, study.Table), ctx.w.PDLoss(kem))
+	fmt.Fprintf(tw, "MANI-Rank\t%s\t%.3f\n", auditCols(fair, study.Table), ctx.w.PDLoss(fair))
+	return tw.Flush()
+}

@@ -1,0 +1,184 @@
+package kemeny
+
+import (
+	"math/rand"
+
+	"manirank/internal/ranking"
+)
+
+// BordaFromPrecedence returns the Borda consensus computed directly from a
+// precedence matrix: candidate c earns one point for every (ranking, rival)
+// pair that places c above the rival. Ties break by candidate id for
+// determinism.
+func BordaFromPrecedence(w *ranking.Precedence) ranking.Ranking {
+	n := w.N()
+	m := w.Rankings()
+	points := make([]int, n)
+	for c := 0; c < n; c++ {
+		for b := 0; b < n; b++ {
+			if b != c {
+				points[c] += m - w.At(c, b)
+			}
+		}
+	}
+	return ranking.SortByPointsDesc(points)
+}
+
+// LocalSearch improves r in place with best-improvement insertion moves until
+// a local optimum of the Kemeny cost is reached, and returns r. Each pass is
+// O(n^2); the insertion neighbourhood is the standard Kemeny local search
+// (Ali & Meila 2012).
+func LocalSearch(w *ranking.Precedence, r ranking.Ranking) ranking.Ranking {
+	n := len(r)
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < n; i++ {
+			c := r[i]
+			bestDelta, bestPos := 0, i
+			// Moving c upward: crossing y flips the pair from (y above c) to
+			// (c above y), changing cost by W[c][y] - W[y][c].
+			delta := 0
+			for j := i - 1; j >= 0; j-- {
+				y := r[j]
+				delta += w.At(c, y) - w.At(y, c)
+				if delta < bestDelta {
+					bestDelta, bestPos = delta, j
+				}
+			}
+			// Moving c downward: crossing y flips (c above y) to (y above c).
+			delta = 0
+			for j := i + 1; j < n; j++ {
+				y := r[j]
+				delta += w.At(y, c) - w.At(c, y)
+				if delta < bestDelta {
+					bestDelta, bestPos = delta, j
+				}
+			}
+			if bestDelta < 0 {
+				r.MoveTo(i, bestPos)
+				improved = true
+			}
+		}
+	}
+	return r
+}
+
+// Options tunes the heuristic solvers.
+type Options struct {
+	// Seed drives all randomised components; a fixed seed gives
+	// reproducible results.
+	Seed int64
+	// Perturbations is the number of iterated-local-search restarts applied
+	// after the first local optimum (default 8).
+	Perturbations int
+	// Strength is the number of random insertion moves per perturbation
+	// (default 4).
+	Strength int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Perturbations == 0 {
+		o.Perturbations = 8
+	}
+	if o.Strength == 0 {
+		o.Strength = 4
+	}
+	return o
+}
+
+// Heuristic returns a high-quality Kemeny consensus: Borda seed, local
+// search, then iterated local search with random insertion perturbations,
+// keeping the best ranking seen. On profiles with a transitive pairwise
+// majority (e.g. Mallows data with theta >= 0.2) it recovers the exact
+// optimum (the majority order is the unique local optimum of the insertion
+// neighbourhood there).
+func Heuristic(w *ranking.Precedence, opts Options) ranking.Ranking {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	best := LocalSearch(w, BordaFromPrecedence(w))
+	bestCost := w.KemenyCost(best)
+	cur := best.Clone()
+	for p := 0; p < opts.Perturbations; p++ {
+		perturb(cur, opts.Strength, rng)
+		LocalSearch(w, cur)
+		if c := w.KemenyCost(cur); c < bestCost {
+			bestCost = c
+			copy(best, cur)
+		} else {
+			copy(cur, best)
+		}
+	}
+	return best
+}
+
+func perturb(r ranking.Ranking, strength int, rng *rand.Rand) {
+	n := len(r)
+	if n < 2 {
+		return
+	}
+	for s := 0; s < strength; s++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		r.MoveTo(i, j)
+	}
+}
+
+// ConstrainedLocalSearch minimises Kemeny cost over rankings satisfying cons
+// using first-improvement insertion moves that preserve feasibility. start
+// must already satisfy cons (repair it with Make-MR-Fair first); the function
+// panics otherwise, because silently optimising from an infeasible point
+// would return garbage. The result is feasible and no worse than start.
+func ConstrainedLocalSearch(w *ranking.Precedence, cons []Constraint, start ranking.Ranking) ranking.Ranking {
+	if !Feasible(start, cons) {
+		panic("kemeny: ConstrainedLocalSearch start ranking violates constraints")
+	}
+	r := start.Clone()
+	n := len(r)
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < n; i++ {
+			c := r[i]
+			// Collect improving insertion positions in order of decreasing
+			// gain, then accept the best feasible one.
+			type move struct {
+				pos   int
+				delta int
+			}
+			var cands []move
+			delta := 0
+			for j := i - 1; j >= 0; j-- {
+				y := r[j]
+				delta += w.At(c, y) - w.At(y, c)
+				if delta < 0 {
+					cands = append(cands, move{j, delta})
+				}
+			}
+			delta = 0
+			for j := i + 1; j < n; j++ {
+				y := r[j]
+				delta += w.At(y, c) - w.At(c, y)
+				if delta < 0 {
+					cands = append(cands, move{j, delta})
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			// Sort by delta ascending (insertion sort; lists are short).
+			for a := 1; a < len(cands); a++ {
+				for b := a; b > 0 && cands[b].delta < cands[b-1].delta; b-- {
+					cands[b], cands[b-1] = cands[b-1], cands[b]
+				}
+			}
+			for _, mv := range cands {
+				r.MoveTo(i, mv.pos)
+				if Feasible(r, cons) {
+					improved = true
+					break
+				}
+				r.MoveTo(mv.pos, i) // undo
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,135 @@
+package mallows
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"manirank/internal/ranking"
+)
+
+func TestSamplesAreValidPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	modal := ranking.Random(20, rng)
+	m := MustNew(modal, 0.5)
+	for i := 0; i < 50; i++ {
+		if !m.Sample(rng).IsValid() {
+			t.Fatal("invalid sample")
+		}
+	}
+}
+
+func TestHighThetaConcentratesOnModal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	modal := ranking.Random(15, rng)
+	m := MustNew(modal, 12) // phi = e^-12: essentially deterministic
+	for i := 0; i < 20; i++ {
+		s := m.Sample(rng)
+		if !s.Equal(modal) {
+			t.Fatalf("theta=12 sample deviates from modal: %v vs %v", s, modal)
+		}
+	}
+}
+
+func TestThetaZeroIsUniform(t *testing.T) {
+	// With n = 3 and theta = 0 all 6 permutations are equally likely.
+	rng := rand.New(rand.NewSource(3))
+	m := MustNew(ranking.New(3), 0)
+	counts := map[string]int{}
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		counts[m.Sample(rng).String()]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations, want 6", len(counts))
+	}
+	for perm, c := range counts {
+		if c < trials/6-200 || c > trials/6+200 {
+			t.Errorf("permutation %q count %d deviates from uniform %d", perm, c, trials/6)
+		}
+	}
+}
+
+func TestMeanDistanceDecreasesInTheta(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	modal := ranking.Random(30, rng)
+	var prev float64 = math.Inf(1)
+	for _, theta := range []float64{0.1, 0.4, 0.8, 1.5} {
+		m := MustNew(modal, theta)
+		sum := 0
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			sum += ranking.KendallTau(m.Sample(rng), modal)
+		}
+		mean := float64(sum) / trials
+		if mean >= prev {
+			t.Fatalf("mean distance %.1f at theta=%v not below %.1f", mean, theta, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestEmpiricalMeanMatchesExpectedKendall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	modal := ranking.Random(25, rng)
+	for _, theta := range []float64{0.2, 0.6, 1.0} {
+		m := MustNew(modal, theta)
+		want := m.ExpectedKendall()
+		sum := 0
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			sum += ranking.KendallTau(m.Sample(rng), modal)
+		}
+		got := float64(sum) / trials
+		// Standard error at n=25 is a few pairs; allow 5%.
+		if math.Abs(got-want) > 0.05*want+1 {
+			t.Errorf("theta=%v: empirical mean %.2f, expected %.2f", theta, got, want)
+		}
+	}
+}
+
+func TestExpectedKendallClosedFormAtThetaZero(t *testing.T) {
+	// Uniform permutations have E[d] = n(n-1)/4.
+	m := MustNew(ranking.New(10), 0)
+	want := float64(10*9) / 4
+	if got := m.ExpectedKendall(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExpectedKendall = %v, want %v", got, want)
+	}
+}
+
+func TestSampleProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := MustNew(ranking.New(12), 0.7)
+	p := m.SampleProfile(40, rng)
+	if len(p) != 40 {
+		t.Fatalf("profile size %d", len(p))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsInvalidInputs(t *testing.T) {
+	if _, err := New(ranking.Ranking{0, 0, 1}, 0.5); err == nil {
+		t.Error("invalid modal accepted")
+	}
+	if _, err := New(ranking.New(5), -1); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := New(ranking.New(5), math.NaN()); err == nil {
+		t.Error("NaN theta accepted")
+	}
+}
+
+func TestModalAccessorsAndClone(t *testing.T) {
+	modal := ranking.Ranking{2, 0, 1}
+	m := MustNew(modal, 0.3)
+	if m.N() != 3 || m.Theta() != 0.3 {
+		t.Fatal("accessors wrong")
+	}
+	got := m.Modal()
+	got[0] = 99
+	if m.Modal()[0] == 99 {
+		t.Fatal("Modal() exposes internal storage")
+	}
+}

@@ -1,0 +1,79 @@
+package mallows
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"manirank/internal/ranking"
+)
+
+func TestPlackettLuceSamplesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pl := MustNewPlackettLuce(ranking.Random(50, rng), 0.3)
+	for i := 0; i < 30; i++ {
+		if !pl.Sample(rng).IsValid() {
+			t.Fatal("invalid sample")
+		}
+	}
+}
+
+func TestPlackettLuceConcentratesWithTheta(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	modal := ranking.Random(40, rng)
+	prev := math.Inf(1)
+	for _, theta := range []float64{0.05, 0.2, 0.8, 3} {
+		pl := MustNewPlackettLuce(modal, theta)
+		sum := 0
+		const trials = 200
+		for i := 0; i < trials; i++ {
+			sum += ranking.KendallTau(pl.Sample(rng), modal)
+		}
+		mean := float64(sum) / trials
+		if mean >= prev {
+			t.Fatalf("theta=%v: mean distance %.1f did not decrease from %.1f", theta, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestPlackettLuceHighThetaNearModal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	modal := ranking.Random(30, rng)
+	pl := MustNewPlackettLuce(modal, 25)
+	for i := 0; i < 10; i++ {
+		if !pl.Sample(rng).Equal(modal) {
+			t.Fatal("theta=25 sample deviates from modal")
+		}
+	}
+}
+
+func TestPlackettLuceProfileAndAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	modal := ranking.Random(10, rng)
+	pl := MustNewPlackettLuce(modal, 0.5)
+	p := pl.SampleProfile(15, rng)
+	if len(p) != 15 {
+		t.Fatalf("profile size %d", len(p))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := pl.Modal()
+	m[0] = 99
+	if pl.Modal()[0] == 99 {
+		t.Fatal("Modal() exposes internal storage")
+	}
+}
+
+func TestPlackettLuceRejectsBadInput(t *testing.T) {
+	if _, err := NewPlackettLuce(ranking.Ranking{0, 0}, 0.5); err == nil {
+		t.Error("invalid modal accepted")
+	}
+	if _, err := NewPlackettLuce(ranking.New(3), -0.5); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := NewPlackettLuce(ranking.New(3), math.NaN()); err == nil {
+		t.Error("NaN theta accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package ranking
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadProfileCSV reads a profile of base rankings from CSV: one row per
+// ranking, each row listing candidate ids from the top position to the
+// bottom. Every row must be a permutation of 0..n-1 for a common n.
+func ReadProfileCSV(r io.Reader) (Profile, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("ranking: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("ranking: empty profile CSV")
+	}
+	p := make(Profile, 0, len(records))
+	for i, rec := range records {
+		row := make(Ranking, len(rec))
+		for j, field := range rec {
+			v, err := strconv.Atoi(field)
+			if err != nil {
+				return nil, fmt.Errorf("ranking: row %d field %d: %w", i, j, err)
+			}
+			row[j] = v
+		}
+		p = append(p, row)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteProfileCSV writes a profile in the format ReadProfileCSV accepts.
+func WriteProfileCSV(w io.Writer, p Profile) error {
+	cw := csv.NewWriter(w)
+	for _, r := range p {
+		rec := make([]string, len(r))
+		for i, c := range r {
+			rec[i] = strconv.Itoa(c)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

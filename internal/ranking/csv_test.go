@@ -1,0 +1,46 @@
+package ranking
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileCSVRoundTrip(t *testing.T) {
+	p := Profile{{2, 0, 1}, {0, 1, 2}, {1, 2, 0}}
+	var buf bytes.Buffer
+	if err := WriteProfileCSV(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfileCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d rankings", len(got))
+	}
+	for i := range p {
+		if !got[i].Equal(p[i]) {
+			t.Fatalf("ranking %d: %v != %v", i, got[i], p[i])
+		}
+	}
+}
+
+func TestReadProfileCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"not int", "0,x,2\n"},
+		{"not a permutation", "0,0,1\n"},
+		{"ragged", "0,1,2\n0,1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadProfileCSV(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("accepted %q", tc.in)
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package ranking
+
+import "fmt"
+
+// Precedence is the precedence matrix W of a profile of base rankings
+// (paper Def. 11): W[a][b] counts the base rankings in which b is ranked
+// ABOVE a. Consequently, placing a above b in a consensus ranking incurs
+// W[a][b] pairwise disagreements with the profile.
+//
+// The matrix is stored densely in row-major order; for every pair a != b,
+// W[a][b] + W[b][a] == |R|.
+type Precedence struct {
+	n int
+	m int // number of base rankings summarised
+	w []int
+}
+
+// NewPrecedence computes the precedence matrix of profile p in O(n^2 * |R|).
+func NewPrecedence(p Profile) (*Precedence, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return newPrecedenceUnchecked(p), nil
+}
+
+// MustPrecedence is NewPrecedence for profiles already known to be valid;
+// it panics on invalid input.
+func MustPrecedence(p Profile) *Precedence {
+	w, err := NewPrecedence(p)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func newPrecedenceUnchecked(p Profile) *Precedence {
+	n := p.N()
+	pr := &Precedence{n: n, m: len(p), w: make([]int, n*n)}
+	for _, r := range p {
+		pos := r.Positions()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b && pos[b] < pos[a] {
+					pr.w[a*n+b]++
+				}
+			}
+		}
+	}
+	return pr
+}
+
+// NewWeightedPrecedence computes a precedence matrix where ranking i
+// contributes weights[i] (instead of 1) to each pairwise count. It backs the
+// Kemeny-Weighted baseline. len(weights) must equal len(p).
+func NewWeightedPrecedence(p Profile, weights []int) (*Precedence, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) != len(p) {
+		return nil, fmt.Errorf("ranking: %d weights for %d rankings", len(weights), len(p))
+	}
+	n := p.N()
+	total := 0
+	for _, wt := range weights {
+		if wt < 0 {
+			return nil, fmt.Errorf("ranking: negative weight %d", wt)
+		}
+		total += wt
+	}
+	pr := &Precedence{n: n, m: total, w: make([]int, n*n)}
+	for i, r := range p {
+		wt := weights[i]
+		if wt == 0 {
+			continue
+		}
+		pos := r.Positions()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b && pos[b] < pos[a] {
+					pr.w[a*n+b] += wt
+				}
+			}
+		}
+	}
+	return pr, nil
+}
+
+// N returns the number of candidates.
+func (w *Precedence) N() int { return w.n }
+
+// Rankings returns the (weighted) number of base rankings summarised.
+func (w *Precedence) Rankings() int { return w.m }
+
+// At returns W[a][b]: how many base rankings place b above a, i.e. the
+// disagreement cost of ordering a above b in the consensus.
+func (w *Precedence) At(a, b int) int { return w.w[a*w.n+b] }
+
+// CostAbove is a readability alias for At: the number of profile
+// disagreements incurred by ranking a above b.
+func (w *Precedence) CostAbove(a, b int) int { return w.w[a*w.n+b] }
+
+// KemenyCost returns the total pairwise disagreement between ranking r and
+// the profile summarised by w: sum over ordered pairs (a above b) of W[a][b].
+// This equals sum_i KendallTau(r, R_i).
+func (w *Precedence) KemenyCost(r Ranking) int {
+	if len(r) != w.n {
+		panic("ranking: KemenyCost ranking length mismatch")
+	}
+	cost := 0
+	for i := 0; i < len(r); i++ {
+		a := r[i]
+		for j := i + 1; j < len(r); j++ {
+			cost += w.w[a*w.n+r[j]]
+		}
+	}
+	return cost
+}
+
+// LowerBound returns an admissible lower bound on the Kemeny cost of any
+// ranking: for each unordered pair the consensus must pay at least
+// min(W[a][b], W[b][a]) disagreements.
+func (w *Precedence) LowerBound() int {
+	lb := 0
+	for a := 0; a < w.n; a++ {
+		for b := a + 1; b < w.n; b++ {
+			ab, ba := w.w[a*w.n+b], w.w[b*w.n+a]
+			if ab < ba {
+				lb += ab
+			} else {
+				lb += ba
+			}
+		}
+	}
+	return lb
+}
+
+// MajorityPrefers reports whether strictly more base rankings place a above b
+// than b above a.
+func (w *Precedence) MajorityPrefers(a, b int) bool {
+	return w.w[b*w.n+a] > w.w[a*w.n+b]
+}
+
+// CondorcetOrder returns a ranking ordering candidates by strict pairwise
+// majority, if one exists (a total order where every candidate beats all
+// candidates below it head-to-head). ok is false when no Condorcet order
+// exists (majority cycles or ties).
+func (w *Precedence) CondorcetOrder() (Ranking, bool) {
+	n := w.n
+	wins := make([]int, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && w.MajorityPrefers(a, b) {
+				wins[a]++
+			}
+		}
+	}
+	r := SortByPointsDesc(wins)
+	// A Condorcet order exists iff the win counts are exactly n-1, n-2, ..., 0.
+	for i, c := range r {
+		if wins[c] != n-1-i {
+			return nil, false
+		}
+	}
+	return r, true
+}
+
+// PDLoss returns the Pairwise Disagreement loss (paper Def. 9) of consensus
+// ranking r against the profile summarised by w: the Kemeny cost divided by
+// omega(X) * |R|, in [0, 1].
+func (w *Precedence) PDLoss(r Ranking) float64 {
+	if w.n < 2 || w.m == 0 {
+		return 0
+	}
+	return float64(w.KemenyCost(r)) / (float64(TotalPairs(w.n)) * float64(w.m))
+}
+
+// PDLoss computes the Pairwise Disagreement loss of consensus r directly from
+// a profile (paper Def. 9): sum of Kendall tau distances to every base
+// ranking, normalised by omega(X)*|R|. It runs in O(|R| n log n) and matches
+// Precedence.PDLoss.
+func PDLoss(p Profile, r Ranking) float64 {
+	if len(p) == 0 || len(r) < 2 {
+		return 0
+	}
+	sum := 0
+	for _, base := range p {
+		sum += KendallTau(r, base)
+	}
+	return float64(sum) / (float64(TotalPairs(len(r))) * float64(len(p)))
+}

@@ -1,0 +1,190 @@
+package ranking
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomProfile(n, m int, rng *rand.Rand) Profile {
+	p := make(Profile, m)
+	for i := range p {
+		p[i] = Random(n, rng)
+	}
+	return p
+}
+
+func TestPrecedenceComplementarity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(12), 1+rng.Intn(8)
+		w := MustPrecedence(randomProfile(n, m, rng))
+		for a := 0; a < n; a++ {
+			if w.At(a, a) != 0 {
+				return false
+			}
+			for b := a + 1; b < n; b++ {
+				if w.At(a, b)+w.At(b, a) != m {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecedenceSingleRanking(t *testing.T) {
+	r := Ranking{2, 0, 1}
+	w := MustPrecedence(Profile{r})
+	// W[a][b] counts rankings with b above a.
+	if w.At(0, 2) != 1 { // 2 is above 0
+		t.Errorf("W[0][2] = %d, want 1", w.At(0, 2))
+	}
+	if w.At(2, 0) != 0 {
+		t.Errorf("W[2][0] = %d, want 0", w.At(2, 0))
+	}
+	if w.At(1, 0) != 1 { // 0 above 1
+		t.Errorf("W[1][0] = %d, want 1", w.At(1, 0))
+	}
+}
+
+func TestKemenyCostEqualsSumKendall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(15), 1+rng.Intn(10)
+		p := randomProfile(n, m, rng)
+		w := MustPrecedence(p)
+		r := Random(n, rng)
+		sum := 0
+		for _, base := range p {
+			sum += KendallTau(r, base)
+		}
+		return w.KemenyCost(r) == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPDLossAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(15), 1+rng.Intn(10)
+		p := randomProfile(n, m, rng)
+		w := MustPrecedence(p)
+		r := Random(n, rng)
+		a, b := w.PDLoss(r), PDLoss(p, r)
+		return a >= 0 && a <= 1 && abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPDLossExtremes(t *testing.T) {
+	r := New(6)
+	// Identical profile: zero loss.
+	p := Profile{r.Clone(), r.Clone(), r.Clone()}
+	if got := PDLoss(p, r); got != 0 {
+		t.Errorf("PD loss against identical profile = %v, want 0", got)
+	}
+	// Profile of reversals: total loss.
+	rev := r.Reverse()
+	if got := PDLoss(Profile{rev, rev}, r); got != 1 {
+		t.Errorf("PD loss against reversed profile = %v, want 1", got)
+	}
+}
+
+func TestLowerBoundIsAdmissible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(10), 1+rng.Intn(8)
+		p := randomProfile(n, m, rng)
+		w := MustPrecedence(p)
+		lb := w.LowerBound()
+		for trial := 0; trial < 5; trial++ {
+			if w.KemenyCost(Random(n, rng)) < lb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondorcetOrderUnanimousProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := Random(8, rng)
+	w := MustPrecedence(Profile{r.Clone(), r.Clone(), r.Clone()})
+	got, ok := w.CondorcetOrder()
+	if !ok {
+		t.Fatal("unanimous profile must have a Condorcet order")
+	}
+	if !got.Equal(r) {
+		t.Fatalf("Condorcet order = %v, want %v", got, r)
+	}
+}
+
+func TestCondorcetOrderCycle(t *testing.T) {
+	// Classic Condorcet paradox: a>b>c, b>c>a, c>a>b.
+	p := Profile{
+		Ranking{0, 1, 2},
+		Ranking{1, 2, 0},
+		Ranking{2, 0, 1},
+	}
+	if _, ok := MustPrecedence(p).CondorcetOrder(); ok {
+		t.Fatal("cyclic majority should have no Condorcet order")
+	}
+}
+
+func TestWeightedPrecedence(t *testing.T) {
+	p := Profile{Ranking{0, 1}, Ranking{1, 0}}
+	w, err := NewWeightedPrecedence(p, []int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.At(1, 0) != 3 { // 0 above 1 in the weight-3 ranking
+		t.Errorf("W[1][0] = %d, want 3", w.At(1, 0))
+	}
+	if w.At(0, 1) != 1 {
+		t.Errorf("W[0][1] = %d, want 1", w.At(0, 1))
+	}
+	if w.Rankings() != 4 {
+		t.Errorf("Rankings() = %d, want 4", w.Rankings())
+	}
+	if _, err := NewWeightedPrecedence(p, []int{1}); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+	if _, err := NewWeightedPrecedence(p, []int{-1, 1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestNewPrecedenceRejectsInvalidProfile(t *testing.T) {
+	if _, err := NewPrecedence(Profile{Ranking{0, 0}}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestMajorityPrefers(t *testing.T) {
+	p := Profile{Ranking{0, 1}, Ranking{0, 1}, Ranking{1, 0}}
+	w := MustPrecedence(p)
+	if !w.MajorityPrefers(0, 1) {
+		t.Error("majority should prefer 0 over 1")
+	}
+	if w.MajorityPrefers(1, 0) {
+		t.Error("majority should not prefer 1 over 0")
+	}
+}

@@ -1,0 +1,192 @@
+package unfairgen
+
+import (
+	"math/rand"
+
+	"manirank/internal/attribute"
+	"manirank/internal/ranking"
+)
+
+// ExamStudy is a calibrated synthetic stand-in for the public exam-score
+// dataset behind the paper's Table IV case study: students described by
+// Gender(2), Race(5) and Lunch(2), with one base ranking per exam subject
+// derived from per-subject scores (see DESIGN.md, Substitutions).
+type ExamStudy struct {
+	Table    *attribute.Table
+	Profile  ranking.Profile // [math, reading, writing]
+	Subjects []string
+}
+
+// NewExamStudy generates the exam case study over n students (the paper uses
+// 200) with the given seed. Score effects are calibrated so the base
+// rankings' FPR profile mirrors paper Table IV: women favoured in math but
+// disfavoured in reading/writing, subsidised-lunch and NatHawaiian students
+// ranked low, Asian/Black students slightly favoured.
+func NewExamStudy(n int, seed int64) (*ExamStudy, error) {
+	rng := rand.New(rand.NewSource(seed))
+	gender := make([]int, n)
+	race := make([]int, n)
+	lunch := make([]int, n)
+	raceDist := []float64{0.30, 0.25, 0.20, 0.15, 0.10} // Asian, White, Black, AlaskaNat, NatHawaii
+	for c := 0; c < n; c++ {
+		if rng.Float64() < 0.5 {
+			gender[c] = 1 // Woman
+		}
+		u := rng.Float64()
+		acc := 0.0
+		for v, p := range raceDist {
+			acc += p
+			if u <= acc {
+				race[c] = v
+				break
+			}
+		}
+		if rng.Float64() < 0.35 {
+			lunch[c] = 1 // SubLunch
+		}
+	}
+	ag, err := attribute.NewAttribute("Gender", []string{"Man", "Woman"}, gender)
+	if err != nil {
+		return nil, err
+	}
+	ar, err := attribute.NewAttribute("Race", []string{"Asian", "White", "Black", "AlaskaNat", "NatHawaii"}, race)
+	if err != nil {
+		return nil, err
+	}
+	al, err := attribute.NewAttribute("Lunch", []string{"NoSub", "SubLunch"}, lunch)
+	if err != nil {
+		return nil, err
+	}
+	t, err := attribute.NewTable(n, ag, ar, al)
+	if err != nil {
+		return nil, err
+	}
+	// Per-subject additive effects, ordered [Gender, Race, Lunch] to match
+	// the table's attributes. Magnitudes are in score points against a
+	// Normal(66, 13) base and were calibrated so the resulting FPR profile
+	// tracks paper Table IV.
+	raceEff := []float64{3.5, -0.5, 3.0, 2.0, -11.0}
+	subjects := []struct {
+		name   string
+		gender []float64 // [Man, Woman]
+		lunch  []float64 // [NoSub, SubLunch]
+	}{
+		{"Math", []float64{-4.0, 4.0}, []float64{8.5, -8.5}},
+		{"Reading", []float64{3.5, -3.5}, []float64{5.0, -5.0}},
+		{"Writing", []float64{4.5, -4.5}, []float64{7.0, -7.0}},
+	}
+	study := &ExamStudy{Table: t}
+	for _, s := range subjects {
+		eff := [][]float64{s.gender, raceEff, s.lunch}
+		scores := BiasedScores(t, 66, 13, eff, rng)
+		study.Profile = append(study.Profile, ScoreRanking(scores))
+		study.Subjects = append(study.Subjects, s.name)
+	}
+	return study, nil
+}
+
+// CSRankingsStudy is a calibrated synthetic stand-in for the CSRankings
+// department data of paper Table V: departments described by Location(4) and
+// Type(2), with one base ranking per year 2000-2020.
+type CSRankingsStudy struct {
+	Table   *attribute.Table
+	Profile ranking.Profile
+	Years   []int
+}
+
+// NewCSRankingsStudy generates the CSRankings case study: 65 departments
+// with a persistent quality score biased toward Northeast and Private
+// institutions, plus per-year noise, yielding 21 yearly base rankings whose
+// FPR profile mirrors paper Table V.
+func NewCSRankingsStudy(seed int64) (*CSRankingsStudy, error) {
+	const n = 65
+	rng := rand.New(rand.NewSource(seed))
+	// Regional mix loosely matching US CS departments.
+	locDist := []float64{0.31, 0.23, 0.23, 0.23} // Northeast, Midwest, West, South
+	loc := make([]int, n)
+	typ := make([]int, n)
+	for c := 0; c < n; c++ {
+		u := rng.Float64()
+		acc := 0.0
+		for v, p := range locDist {
+			acc += p
+			if u <= acc {
+				loc[c] = v
+				break
+			}
+		}
+		// Private institutions cluster in the Northeast.
+		pPrivate := 0.35
+		if loc[c] == 0 {
+			pPrivate = 0.60
+		}
+		if rng.Float64() < pPrivate {
+			typ[c] = 0 // Private
+		} else {
+			typ[c] = 1 // Public
+		}
+	}
+	al, err := attribute.NewAttribute("Location", []string{"Northeast", "Midwest", "West", "South"}, loc)
+	if err != nil {
+		return nil, err
+	}
+	at, err := attribute.NewAttribute("Type", []string{"Private", "Public"}, typ)
+	if err != nil {
+		return nil, err
+	}
+	t, err := attribute.NewTable(n, al, at)
+	if err != nil {
+		return nil, err
+	}
+	// Persistent department quality with location/type bias calibrated to
+	// Table V (Northeast FPR ~ 0.7, South ~ 0.25, Private ~ 0.6).
+	locEff := []float64{0.95, -0.15, 0.35, -1.05}
+	typEff := []float64{0.30, -0.30}
+	quality := make([]float64, n)
+	for c := 0; c < n; c++ {
+		quality[c] = rng.NormFloat64() + locEff[loc[c]] + typEff[typ[c]]
+	}
+	study := &CSRankingsStudy{Table: t}
+	for year := 2000; year <= 2020; year++ {
+		scores := make([]float64, n)
+		for c := 0; c < n; c++ {
+			scores[c] = quality[c] + 0.35*rng.NormFloat64()
+		}
+		study.Profile = append(study.Profile, ScoreRanking(scores))
+		study.Years = append(study.Years, year)
+	}
+	return study, nil
+}
+
+// AdmissionsStudy is the paper's running admissions-committee example
+// (Figures 1 and 2): 45 applicants with Gender(3) x Race(5) and four base
+// rankings of varying bias — r4 strongly biased against women and Black
+// candidates, r3 nearly even, r1/r2 moderately biased.
+type AdmissionsStudy struct {
+	Table   *attribute.Table
+	Profile ranking.Profile
+}
+
+// NewAdmissionsStudy generates the admissions example.
+func NewAdmissionsStudy(seed int64) (*AdmissionsStudy, error) {
+	t, err := PaperTable(45)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Per-ranker bias strengths against [Gender, Race] values; larger gaps
+	// produce more biased rankings. Gender order: Man, Non-Binary, Woman;
+	// Race order: AlaskaNat, Asian, Black, NatHawaii, White.
+	rankers := [][2][]float64{
+		{{1.4, 0.1, -1.2}, {0.0, 0.6, -1.2, -0.3, 0.9}},  // r1: biased
+		{{1.1, -0.2, -0.9}, {0.2, 0.4, -1.4, -0.2, 0.7}}, // r2: biased
+		{{0.1, 0.0, -0.1}, {0.1, 0.0, -0.1, 0.0, 0.1}},   // r3: nearly even
+		{{2.2, 0.3, -2.0}, {0.1, 0.8, -2.2, -0.5, 1.4}},  // r4: severely biased
+	}
+	study := &AdmissionsStudy{Table: t}
+	for _, eff := range rankers {
+		scores := BiasedScores(t, 0, 1, [][]float64{eff[0], eff[1]}, rng)
+		study.Profile = append(study.Profile, ScoreRanking(scores))
+	}
+	return study, nil
+}

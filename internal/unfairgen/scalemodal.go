@@ -1,0 +1,57 @@
+package unfairgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"manirank/internal/attribute"
+	"manirank/internal/ranking"
+)
+
+// CalibratedBinaryModal builds a modal ranking over a binary Gender x Race
+// table whose attribute parities approximate the requested ARP values, in
+// O(n log n). Candidates draw Normal(0,1) scores plus per-group effects; the
+// effect magnitudes are computed in closed form from the Gaussian pairwise
+// win probability (ARP = erf(effect / sqrt(1 + otherEffect^2))), with a few
+// fixed-point iterations to account for the variance the other attribute's
+// effect adds. The resulting IRP is emergent and reported by the harness.
+//
+// TargetModal is exact but needs O(n^2)-pair repair work; this constructor
+// exists for the scalability studies (Fig. 6/7, Tables II/III) where n
+// reaches 10^5.
+func CalibratedBinaryModal(t *attribute.Table, arpGender, arpRace float64, rng *rand.Rand) (ranking.Ranking, error) {
+	gender := t.Attr("Gender")
+	race := t.Attr("Race")
+	if gender == nil || race == nil {
+		return nil, fmt.Errorf("unfairgen: table must have Gender and Race attributes")
+	}
+	if gender.DomainSize() != 2 || race.DomainSize() != 2 {
+		return nil, fmt.Errorf("unfairgen: CalibratedBinaryModal needs binary attributes")
+	}
+	if arpGender < 0 || arpGender >= 1 || arpRace < 0 || arpRace >= 1 {
+		return nil, fmt.Errorf("unfairgen: target ARPs must lie in [0, 1)")
+	}
+	// Fixed point: each attribute's effect sees the other's as extra noise.
+	a, b := 0.0, 0.0
+	for iter := 0; iter < 12; iter++ {
+		a = math.Erfinv(arpGender) * math.Sqrt(1+b*b)
+		b = math.Erfinv(arpRace) * math.Sqrt(1+a*a)
+	}
+	scores := make([]float64, t.N())
+	for c := 0; c < t.N(); c++ {
+		s := rng.NormFloat64()
+		if gender.Of[c] == 0 {
+			s += a
+		} else {
+			s -= a
+		}
+		if race.Of[c] == 0 {
+			s += b
+		} else {
+			s -= b
+		}
+		scores[c] = s
+	}
+	return ranking.SortByScoreDesc(scores), nil
+}

@@ -1,0 +1,179 @@
+// Package unfairgen constructs candidate databases and rankings with
+// controlled levels of group unfairness. It supplies every dataset the
+// paper's evaluation uses:
+//
+//   - the Table I Mallows modal rankings (Low/Medium/High-Fair) over 90
+//     candidates with Race(5) x Gender(3),
+//   - the binary-attribute modal rankings behind the scalability studies
+//     (Fig. 6/7, Tables II/III),
+//   - a calibrated synthetic stand-in for the Kimmons exam-score dataset
+//     (Table IV) and for the CSRankings department data (Table V) — see
+//     DESIGN.md, Substitutions,
+//   - the admissions-committee example of Figures 1 and 2.
+//
+// The target-parity construction starts from the maximally unfair block
+// ranking (every ARP and IRP equal to 1) and runs Make-MR-Fair with the
+// desired parity levels as per-attribute thresholds, which walks fairness
+// down until each score first reaches its target.
+package unfairgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"manirank/internal/attribute"
+	"manirank/internal/core"
+	"manirank/internal/ranking"
+)
+
+// BalancedTable builds a candidate table whose q attributes have the given
+// domain sizes, with candidates assigned so every intersectional combination
+// is (as close as possible to) equally occupied. Candidates are laid out in
+// mixed-radix order of their combination index.
+func BalancedTable(n int, names []string, domains [][]string) (*attribute.Table, error) {
+	if len(names) != len(domains) {
+		return nil, fmt.Errorf("unfairgen: %d names for %d domains", len(names), len(domains))
+	}
+	combos := 1
+	for _, d := range domains {
+		combos *= len(d)
+	}
+	if combos == 0 {
+		return nil, fmt.Errorf("unfairgen: empty attribute domain")
+	}
+	attrs := make([]*attribute.Attribute, len(names))
+	ofs := make([][]int, len(names))
+	for k := range names {
+		ofs[k] = make([]int, n)
+	}
+	for c := 0; c < n; c++ {
+		combo := c % combos
+		for k := len(domains) - 1; k >= 0; k-- {
+			ofs[k][c] = combo % len(domains[k])
+			combo /= len(domains[k])
+		}
+	}
+	for k, name := range names {
+		a, err := attribute.NewAttribute(name, domains[k], ofs[k])
+		if err != nil {
+			return nil, err
+		}
+		attrs[k] = a
+	}
+	return attribute.NewTable(n, attrs...)
+}
+
+// BlockRanking returns the maximally unfair ranking for table t: candidates
+// grouped into contiguous blocks by intersectional group (group 0 wholly on
+// top, the last group wholly at the bottom). Every attribute's ARP and the
+// IRP equal 1 when each attribute has at least two non-empty groups and the
+// blocks align (as with BalancedTable layouts).
+func BlockRanking(t *attribute.Table) ranking.Ranking {
+	inter := t.Intersection()
+	r := make(ranking.Ranking, 0, t.N())
+	for v := 0; v < inter.DomainSize(); v++ {
+		r = append(r, inter.Group(v)...)
+	}
+	return r
+}
+
+// ParityLevels specifies the target ARP for each protected attribute (by
+// name) and the target IRP, used by TargetModal.
+type ParityLevels struct {
+	ARP map[string]float64
+	IRP float64
+}
+
+// TargetModal builds a modal ranking whose parity scores approximate the
+// requested levels: it starts from the maximally unfair BlockRanking and
+// repairs with Make-MR-Fair using the levels as thresholds, so each score
+// ends at its first value at or below target. Measured scores are returned
+// alongside the ranking; experiments report the measured values (as the
+// paper's Table I reports its datasets' scores).
+func TargetModal(t *attribute.Table, levels ParityLevels) (ranking.Ranking, error) {
+	th := coreThresholds(t, levels)
+	// The quantum-step repair walks each parity score down until it first
+	// reaches its requested level, instead of dragging scores further down
+	// as collateral of long corrective swaps on another attribute.
+	r, err := core.RepairToLevels(BlockRanking(t), th)
+	if err != nil {
+		return nil, fmt.Errorf("unfairgen: building target modal: %w", err)
+	}
+	return r, nil
+}
+
+func coreThresholds(t *attribute.Table, levels ParityLevels) []core.Target {
+	targets := make([]core.Target, 0, len(t.Attrs())+1)
+	for _, a := range t.Attrs() {
+		d, ok := levels.ARP[a.Name]
+		if !ok {
+			d = 1 // unconstrained
+		}
+		targets = append(targets, core.Target{Attr: a, Delta: d})
+	}
+	targets = append(targets, core.Target{Attr: t.Intersection(), Delta: levels.IRP})
+	return targets
+}
+
+// MallowsDatasetSpec names one of the paper's Table I datasets.
+type MallowsDatasetSpec struct {
+	Name   string
+	Levels ParityLevels
+}
+
+// TableIDatasets returns the paper's three Table I dataset specifications:
+// Low-, Medium- and High-Fair modal rankings over Race(5) x Gender(3).
+func TableIDatasets() []MallowsDatasetSpec {
+	return []MallowsDatasetSpec{
+		{Name: "Low-Fair", Levels: ParityLevels{ARP: map[string]float64{"Gender": 0.70, "Race": 0.70}, IRP: 1.00}},
+		{Name: "Medium-Fair", Levels: ParityLevels{ARP: map[string]float64{"Gender": 0.50, "Race": 0.50}, IRP: 0.75}},
+		{Name: "High-Fair", Levels: ParityLevels{ARP: map[string]float64{"Gender": 0.30, "Race": 0.30}, IRP: 0.54}},
+	}
+}
+
+// PaperTable builds the Table I candidate database: n candidates with
+// Gender(3) and Race(5), 15 intersectional groups of n/15 candidates each.
+// The paper uses n = 90 (6 per group).
+func PaperTable(n int) (*attribute.Table, error) {
+	if n%15 != 0 {
+		return nil, fmt.Errorf("unfairgen: PaperTable needs n divisible by 15, got %d", n)
+	}
+	return BalancedTable(n,
+		[]string{"Gender", "Race"},
+		[][]string{
+			{"Man", "Non-Binary", "Woman"},
+			{"AlaskaNat", "Asian", "Black", "NatHawaii", "White"},
+		})
+}
+
+// BinaryTable builds the binary Gender(2) x Race(2) candidate database used
+// by the scalability studies (Fig. 6/7, Tables II/III).
+func BinaryTable(n int) (*attribute.Table, error) {
+	if n%4 != 0 {
+		return nil, fmt.Errorf("unfairgen: BinaryTable needs n divisible by 4, got %d", n)
+	}
+	return BalancedTable(n,
+		[]string{"Gender", "Race"},
+		[][]string{{"Man", "Woman"}, {"GroupA", "GroupB"}})
+}
+
+// ScoreRanking ranks candidates by descending score with deterministic id
+// tie-breaks; it converts generated score columns into base rankings.
+func ScoreRanking(scores []float64) ranking.Ranking {
+	return ranking.SortByScoreDesc(scores)
+}
+
+// BiasedScores draws one score per candidate: a Normal(base, sd) draw plus
+// the per-value effects of each attribute. effects[k][v] is added when the
+// candidate holds value v of table attribute k.
+func BiasedScores(t *attribute.Table, base, sd float64, effects [][]float64, rng *rand.Rand) []float64 {
+	scores := make([]float64, t.N())
+	for c := 0; c < t.N(); c++ {
+		s := base + sd*rng.NormFloat64()
+		for k, a := range t.Attrs() {
+			s += effects[k][a.Of[c]]
+		}
+		scores[c] = s
+	}
+	return scores
+}

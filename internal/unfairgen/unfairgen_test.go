@@ -1,0 +1,313 @@
+package unfairgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"manirank/internal/fairness"
+)
+
+func TestBalancedTable(t *testing.T) {
+	tab, err := BalancedTable(90, []string{"Gender", "Race"}, [][]string{
+		{"M", "NB", "W"}, {"A", "B", "C", "D", "E"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := tab.Intersection()
+	if inter.DomainSize() != 15 {
+		t.Fatalf("intersection has %d groups, want 15", inter.DomainSize())
+	}
+	for v, size := range inter.GroupSizes() {
+		if size != 6 {
+			t.Fatalf("intersection group %d size %d, want 6", v, size)
+		}
+	}
+}
+
+func TestBalancedTableErrors(t *testing.T) {
+	if _, err := BalancedTable(10, []string{"A"}, nil); err == nil {
+		t.Error("mismatched names/domains accepted")
+	}
+	if _, err := BalancedTable(10, []string{"A"}, [][]string{{}}); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestBlockRankingIsMaximallyUnfair(t *testing.T) {
+	tab, err := PaperTable(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := BlockRanking(tab)
+	if !r.IsValid() {
+		t.Fatal("block ranking invalid")
+	}
+	if got := fairness.IRP(r, tab); got != 1 {
+		t.Fatalf("block ranking IRP = %v, want 1", got)
+	}
+}
+
+func TestTableIDatasetsApproximatePaperValues(t *testing.T) {
+	tab, err := PaperTable(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table I targets.
+	want := map[string][3]float64{
+		"Low-Fair":    {0.70, 0.70, 1.00},
+		"Medium-Fair": {0.50, 0.50, 0.75},
+		"High-Fair":   {0.30, 0.30, 0.54},
+	}
+	for _, spec := range TableIDatasets() {
+		modal, err := TargetModal(tab, spec.Levels)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		rep := fairness.Audit(modal, tab)
+		w := want[spec.Name]
+		// The construction stops at the first value at or below target, so
+		// measured scores sit within one coarse repair step of the target.
+		const tol = 0.12
+		if rep.ARPs[0] > w[0]+1e-9 || rep.ARPs[0] < w[0]-tol {
+			t.Errorf("%s ARP Gender = %.3f, want ~%.2f", spec.Name, rep.ARPs[0], w[0])
+		}
+		if rep.ARPs[1] > w[1]+1e-9 || rep.ARPs[1] < w[1]-tol {
+			t.Errorf("%s ARP Race = %.3f, want ~%.2f", spec.Name, rep.ARPs[1], w[1])
+		}
+		if rep.IRP > w[2]+1e-9 || rep.IRP < w[2]-tol {
+			t.Errorf("%s IRP = %.3f, want ~%.2f", spec.Name, rep.IRP, w[2])
+		}
+	}
+}
+
+func TestPaperTableRejectsBadSize(t *testing.T) {
+	if _, err := PaperTable(91); err == nil {
+		t.Error("n=91 accepted")
+	}
+}
+
+func TestBinaryTable(t *testing.T) {
+	tab, err := BinaryTable(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Intersection().DomainSize(); got != 4 {
+		t.Fatalf("binary intersection groups = %d, want 4", got)
+	}
+	if _, err := BinaryTable(10); err == nil {
+		t.Error("n=10 accepted (not divisible by 4)")
+	}
+}
+
+func TestScalabilityModalLevels(t *testing.T) {
+	// The Fig. 6 dataset: ARP(Race)=.15, ARP(Gender)=.7, IRP=.55 over a
+	// binary table of 100 candidates.
+	tab, err := BinaryTable(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modal, err := TargetModal(tab, ParityLevels{
+		ARP: map[string]float64{"Gender": 0.70, "Race": 0.15},
+		IRP: 0.55,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fairness.Audit(modal, tab)
+	if rep.ARPs[0] > 0.70+1e-9 || rep.ARPs[1] > 0.15+1e-9 || rep.IRP > 0.55+1e-9 {
+		t.Fatalf("levels exceeded: %v", rep.String())
+	}
+	if rep.ARPs[0] < 0.55 {
+		t.Fatalf("Gender ARP %.3f too far below the 0.70 target", rep.ARPs[0])
+	}
+}
+
+func TestExamStudyBiasDirections(t *testing.T) {
+	study, err := NewExamStudy(200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Profile) != 3 {
+		t.Fatalf("%d base rankings, want 3", len(study.Profile))
+	}
+	if err := study.Profile.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gender := study.Table.Attr("Gender")
+	lunch := study.Table.Attr("Lunch")
+	race := study.Table.Attr("Race")
+	// Math: women favoured. Reading/writing: men favoured (paper Table IV).
+	mathFPR := fairness.GroupFPRs(study.Profile[0], gender)
+	if mathFPR[1] <= mathFPR[0] {
+		t.Errorf("math should favour women: %v", mathFPR)
+	}
+	readFPR := fairness.GroupFPRs(study.Profile[1], gender)
+	if readFPR[0] <= readFPR[1] {
+		t.Errorf("reading should favour men: %v", readFPR)
+	}
+	// Subsidised-lunch students rank low in every subject.
+	for s, r := range study.Profile {
+		f := fairness.GroupFPRs(r, lunch)
+		if f[0] <= f[1] {
+			t.Errorf("subject %d should favour NoSub: %v", s, f)
+		}
+	}
+	// NatHawaii students rank lowest among racial groups in every subject.
+	for s, r := range study.Profile {
+		f := fairness.GroupFPRs(r, race)
+		for v := 0; v < 4; v++ {
+			if f[4] >= f[v] {
+				t.Errorf("subject %d: NatHawaii FPR %.3f not lowest (group %d at %.3f)", s, f[4], v, f[v])
+			}
+		}
+	}
+}
+
+func TestCSRankingsStudyBiasDirections(t *testing.T) {
+	study, err := NewCSRankingsStudy(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Profile) != 21 {
+		t.Fatalf("%d yearly rankings, want 21", len(study.Profile))
+	}
+	if err := study.Profile.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	loc := study.Table.Attr("Location")
+	typ := study.Table.Attr("Type")
+	// Every year: Northeast above South, Private above Public.
+	for y, r := range study.Profile {
+		lf := fairness.GroupFPRs(r, loc)
+		if lf[0] <= lf[3] {
+			t.Errorf("year %d: Northeast FPR %.3f not above South %.3f", study.Years[y], lf[0], lf[3])
+		}
+		tf := fairness.GroupFPRs(r, typ)
+		if tf[0] <= tf[1] {
+			t.Errorf("year %d: Private FPR %.3f not above Public %.3f", study.Years[y], tf[0], tf[1])
+		}
+	}
+}
+
+func TestAdmissionsStudyShape(t *testing.T) {
+	study, err := NewAdmissionsStudy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Profile) != 4 || study.Table.N() != 45 {
+		t.Fatalf("unexpected shape: %d rankings over %d candidates", len(study.Profile), study.Table.N())
+	}
+	// r4 (index 3) is the most biased, r3 (index 2) the least.
+	viol := make([]float64, 4)
+	for i, r := range study.Profile {
+		viol[i] = fairness.Audit(r, study.Table).MaxViolation()
+	}
+	if !(viol[3] > viol[2]) {
+		t.Errorf("r4 violation %.3f should exceed r3 %.3f", viol[3], viol[2])
+	}
+}
+
+func TestGeneratorsDeterministicForSeed(t *testing.T) {
+	a, err := NewExamStudy(100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewExamStudy(100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Profile {
+		if !a.Profile[i].Equal(b.Profile[i]) {
+			t.Fatal("exam study not deterministic")
+		}
+	}
+	c, err := NewCSRankingsStudy(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewCSRankingsStudy(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Profile[0].Equal(d.Profile[0]) {
+		t.Fatal("csrankings study not deterministic")
+	}
+}
+
+func TestBiasedScoresEffectDirection(t *testing.T) {
+	tab, err := BalancedTable(2000, []string{"G"}, [][]string{{"A", "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngScores := func(seed int64) (meanA, meanB float64) {
+		scores := BiasedScores(tab, 50, 5, [][]float64{{10, -10}}, newRand(seed))
+		var sa, sb float64
+		var na, nb int
+		for c, s := range scores {
+			if tab.Attrs()[0].Of[c] == 0 {
+				sa += s
+				na++
+			} else {
+				sb += s
+				nb++
+			}
+		}
+		return sa / float64(na), sb / float64(nb)
+	}
+	meanA, meanB := rngScores(1)
+	if diff := meanA - meanB; math.Abs(diff-20) > 2 {
+		t.Fatalf("group mean difference %.2f, want ~20", diff)
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestCalibratedBinaryModalHitsTargets(t *testing.T) {
+	tab, err := BinaryTable(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	modal, err := CalibratedBinaryModal(tab, 0.70, 0.15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fairness.Audit(modal, tab)
+	// Closed-form calibration plus sampling noise: allow +-0.06 at n=4000.
+	if math.Abs(rep.ARPs[0]-0.70) > 0.06 {
+		t.Errorf("Gender ARP %.3f, want ~0.70", rep.ARPs[0])
+	}
+	if math.Abs(rep.ARPs[1]-0.15) > 0.06 {
+		t.Errorf("Race ARP %.3f, want ~0.15", rep.ARPs[1])
+	}
+}
+
+func TestCalibratedBinaryModalRejectsBadInput(t *testing.T) {
+	tab, err := BinaryTable(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	if _, err := CalibratedBinaryModal(tab, 1.0, 0.1, rng); err == nil {
+		t.Error("ARP = 1 accepted")
+	}
+	if _, err := CalibratedBinaryModal(tab, -0.1, 0.1, rng); err == nil {
+		t.Error("negative ARP accepted")
+	}
+	three, err := BalancedTable(30, []string{"Gender", "Race"}, [][]string{{"M", "NB", "W"}, {"A", "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CalibratedBinaryModal(three, 0.5, 0.1, rng); err == nil {
+		t.Error("non-binary attribute accepted")
+	}
+	wrongNames, err := BalancedTable(30, []string{"X", "Y"}, [][]string{{"a", "b"}, {"c", "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CalibratedBinaryModal(wrongNames, 0.5, 0.1, rng); err == nil {
+		t.Error("missing Gender/Race attributes accepted")
+	}
+}
