@@ -18,13 +18,15 @@ import (
 	"time"
 
 	"manirank/internal/experiments"
+	"manirank/internal/ranking"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed (runs are reproducible per seed)")
 	quick := flag.Bool("quick", false, "shrink the heaviest workloads for a fast smoke run")
+	workers := flag.Int("workers", 0, "worker pool size for independent experiment cells (0 = all CPUs, 1 = sequential; results are identical either way, but per-cell runtimes contend — time with 1)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-quick] <%s|all>\n",
+		fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-quick] [-workers N] <%s|all>\n",
 			strings.Join(experiments.ExperimentIDs(), "|"))
 		flag.PrintDefaults()
 	}
@@ -33,7 +35,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, Out: os.Stdout, Quick: *quick}
+	// The flag also governs kernel-level parallelism (precedence-matrix
+	// sharding) so -workers 1 is a fully sequential, contention-free run.
+	ranking.DefaultWorkers = *workers
+	cfg := experiments.Config{Seed: *seed, Out: os.Stdout, Quick: *quick, Workers: *workers}
 	start := time.Now()
 	if err := experiments.Run(flag.Arg(0), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

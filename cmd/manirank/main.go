@@ -99,6 +99,7 @@ func cmdAggregate(args []string) error {
 	rankings := fs.String("rankings", "", "base rankings CSV (required)")
 	delta := fs.Float64("delta", 0.1, "MANI-Rank fairness threshold in [0,1]")
 	methodName := fs.String("method", "fair-kemeny", "fair-kemeny|fair-copeland|fair-schulze|fair-borda|kemeny|borda|copeland|schulze")
+	workers := fs.Int("workers", 0, "worker pool size for precedence-matrix construction (0 = all CPUs)")
 	out := fs.String("o", "", "write the consensus ranking CSV here (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +107,7 @@ func cmdAggregate(args []string) error {
 	if *candidates == "" || *rankings == "" {
 		return fmt.Errorf("aggregate: -candidates and -rankings are required")
 	}
+	ranking.DefaultWorkers = *workers
 	tab, p, err := loadInputs(*candidates, *rankings)
 	if err != nil {
 		return err

@@ -1,0 +1,3 @@
+module manirank
+
+go 1.24

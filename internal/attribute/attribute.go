@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Attribute is a categorical protected attribute over a candidate universe:
@@ -72,8 +73,8 @@ func (a *Attribute) ValueOf(c int) string { return a.Values[a.Of[c]] }
 type Table struct {
 	n         int
 	attrs     []*Attribute
+	interOnce sync.Once  // guards inter: tables are shared read-only across worker goroutines
 	inter     *Attribute // lazily built intersection pseudo-attribute
-	interFrom int        // number of attrs the cached intersection was built from
 }
 
 // NewTable builds a candidate database of n candidates with the given
@@ -130,9 +131,11 @@ func (t *Table) Attr(name string) *Attribute {
 // combinations form groups; empty combinations cannot influence parity.
 // The result is cached.
 func (t *Table) Intersection() *Attribute {
-	if t.inter != nil && t.interFrom == len(t.attrs) {
-		return t.inter
-	}
+	t.interOnce.Do(func() { t.inter = t.buildIntersection() })
+	return t.inter
+}
+
+func (t *Table) buildIntersection() *Attribute {
 	type combo struct {
 		key   string
 		label string
@@ -171,9 +174,7 @@ func (t *Table) Intersection() *Attribute {
 	for c := 0; c < t.n; c++ {
 		of[c] = index[keyOf[c]]
 	}
-	t.inter = &Attribute{Name: "Intersection", Values: values, Of: of}
-	t.interFrom = len(t.attrs)
-	return t.inter
+	return &Attribute{Name: "Intersection", Values: values, Of: of}
 }
 
 // IntersectionOf returns the intersection pseudo-attribute over a subset of

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runWithWorkers runs one experiment with an explicit worker count.
+func runWithWorkers(t *testing.T, id string, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := Config{Seed: 1, Out: &buf, Quick: true, Workers: workers}
+	if err := Run(id, cfg); err != nil {
+		t.Fatalf("%s with %d workers: %v", id, workers, err)
+	}
+	return buf.String()
+}
+
+// TestWorkersDeterminism checks the tentpole guarantee: a parallel experiment
+// run emits exactly the bytes of the sequential (Workers: 1) run for the
+// same seed.
+func TestWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiment tables twice")
+	}
+	for _, id := range []string{"fig4", "fig5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			sequential := runWithWorkers(t, id, 1)
+			parallel := runWithWorkers(t, id, 4)
+			if sequential != parallel {
+				t.Fatalf("%s output differs between Workers:1 and Workers:4\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					id, sequential, parallel)
+			}
+		})
+	}
+}
+
+// stripRuntimes canonicalises a timed table: every token parseable as a
+// time.Duration (the wall-clock Runtime column, the only non-deterministic
+// output) becomes "T", and tabwriter padding — which depends on the runtime
+// strings' widths — collapses to single spaces.
+func stripRuntimes(out string) string {
+	lines := strings.Split(out, "\n")
+	for li, line := range lines {
+		fields := strings.Fields(line)
+		for fi, f := range fields {
+			if _, err := time.ParseDuration(f); err == nil {
+				fields[fi] = "T"
+			}
+		}
+		lines[li] = strings.Join(fields, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestWorkersDeterminismTimedTables checks fig6 — whose Runtime column is
+// inherently non-deterministic — is otherwise (sizes, methods, PD losses)
+// identical across worker counts.
+func TestWorkersDeterminismTimedTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig6 scalability table twice")
+	}
+	sequential := stripRuntimes(runWithWorkers(t, "fig6", 1))
+	parallel := stripRuntimes(runWithWorkers(t, "fig6", 4))
+	if sequential != parallel {
+		t.Fatalf("fig6 output differs beyond the runtime column\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			sequential, parallel)
+	}
+}

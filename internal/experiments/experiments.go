@@ -21,9 +21,11 @@ import (
 )
 
 // Config tunes an experiment run. The zero value runs at paper scale with
-// seed 1.
+// seed 1 on every available CPU.
 type Config struct {
 	// Seed drives every random component; runs are reproducible per seed.
+	// Each method x theta x size cell derives its own RNG from Seed and its
+	// coordinates, so results are identical for every Workers value.
 	Seed int64
 	// Out receives the printed table (defaults to io.Discard if nil; the
 	// CLI passes os.Stdout).
@@ -32,6 +34,16 @@ type Config struct {
 	// counts) so the full suite finishes in seconds — used by `go test` and
 	// the benchmark harness. Paper-scale runs leave it false.
 	Quick bool
+	// Workers bounds the experiment worker pool: independent cells of each
+	// figure/table run concurrently on up to this many goroutines. 0 means
+	// one per CPU; 1 runs cells sequentially. Deterministic outputs
+	// (rankings, losses, parities) are bitwise identical across values;
+	// per-cell Runtime columns in the scalability artifacts are wall-clock
+	// and contend under parallelism — time with Workers: 1. Kernel-level
+	// parallelism inside a cell (precedence-matrix sharding) is governed
+	// separately by ranking.DefaultWorkers; cmd/experiments sets both from
+	// its -workers flag so `-workers 1` is fully sequential.
+	Workers int
 }
 
 func (c Config) out() io.Writer {
@@ -41,22 +53,12 @@ func (c Config) out() io.Writer {
 	return c.Out
 }
 
-func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed + 1)) }
-
 // thetas is the consensus sweep used throughout the paper's figures.
 var thetas = []float64{0.2, 0.4, 0.6, 0.8}
 
 // kemenyOptions returns solver options sized to the experiment scale.
 func kemenyOptions() aggregate.KemenyOptions {
 	return aggregate.KemenyOptions{ExactThreshold: 12, MaxNodes: 2_000_000}
-}
-
-// methodResult is one method's outcome on one consensus problem.
-type methodResult struct {
-	ID      string
-	Name    string
-	Ranking ranking.Ranking
-	Err     error
 }
 
 // runCtx bundles one consensus problem instance.
@@ -139,6 +141,22 @@ func tableIModal(name string) (*attribute.Table, ranking.Ranking, error) {
 		}
 	}
 	return nil, nil, fmt.Errorf("experiments: unknown Table I dataset %q", name)
+}
+
+// tableIDatasets builds the tab and modal ranking of every Table I dataset
+// once, so dataset x theta fan-outs don't redo the deterministic dataset
+// construction in each cell.
+func tableIDatasets() ([]unfairgen.MallowsDatasetSpec, []*attribute.Table, []ranking.Ranking, error) {
+	specs := unfairgen.TableIDatasets()
+	tabs := make([]*attribute.Table, len(specs))
+	modals := make([]ranking.Ranking, len(specs))
+	for di, spec := range specs {
+		var err error
+		if tabs[di], modals[di], err = tableIModal(spec.Name); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return specs, tabs, modals, nil
 }
 
 // sampleProfile draws |R| base rankings around modal at spread theta.

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runCells executes fn(i) for cells 0..count-1 on a bounded pool of `workers`
+// goroutines pulling from a shared atomic counter. Results must be written
+// into per-cell slots by fn; the caller prints them in cell order afterwards,
+// so the emitted tables are identical for every worker count. The returned
+// error is the lowest-indexed cell's error, again independent of schedule.
+func runCells(workers, count int, fn func(i int) error) error {
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, count)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= count {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					// Skip cells not yet started: a failed run's remaining
+					// work is wasted. In-flight cells still finish.
+					atomic.StoreInt64(&next, int64(count))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellSeed derives the RNG seed of one experiment cell from the run seed, the
+// experiment label, and the cell coordinates, via splitmix64 finalisation.
+// Cells own their randomness: no cell observes another cell's draws, which is
+// what makes parallel schedules bitwise-reproducible.
+func cellSeed(seed int64, label string, coords ...int) int64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	for _, c := range []byte(label) {
+		mix(uint64(c))
+	}
+	for _, c := range coords {
+		mix(uint64(c) + 1)
+	}
+	return int64(h)
+}
+
+// cellRNG returns the dedicated RNG of one cell.
+func cellRNG(seed int64, label string, coords ...int) *rand.Rand {
+	return rand.New(rand.NewSource(cellSeed(seed, label, coords...)))
+}
+
+// workers resolves the configured pool width: 0 means one worker per
+// available CPU.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

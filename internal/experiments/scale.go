@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"manirank/internal/attribute"
@@ -14,72 +15,82 @@ import (
 // fig6Modal builds the scalability study's modal ranking: a binary
 // Gender(2) x Race(2) database with modal ARP(Race)=0.15, ARP(Gender)=0.70
 // (paper Section IV-D, Fig. 6 / Table II dataset).
-func fig6Modal(n int, cfg Config) (*runCtxSeed, error) {
+func fig6Modal(n int, rng *rand.Rand) (*attribute.Table, ranking.Ranking, error) {
 	tab, err := unfairgen.BinaryTable(n)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rng := cfg.rng()
 	modal, err := unfairgen.CalibratedBinaryModal(tab, 0.70, 0.15, rng)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &runCtxSeed{tab: tab, modal: modal, cfg: cfg}, nil
+	return tab, modal, nil
 }
 
 // fig7Modal builds the candidate-scalability modal: ARP(Race)=0.31,
 // ARP(Gender)=0.44 (paper Fig. 7 / Table III dataset).
-func fig7Modal(n int, cfg Config) (*runCtxSeed, error) {
+func fig7Modal(n int, rng *rand.Rand) (*attribute.Table, ranking.Ranking, error) {
 	tab, err := unfairgen.BinaryTable(n)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rng := cfg.rng()
 	modal, err := unfairgen.CalibratedBinaryModal(tab, 0.44, 0.31, rng)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &runCtxSeed{tab: tab, modal: modal, cfg: cfg}, nil
-}
-
-type runCtxSeed struct {
-	tab   *attribute.Table
-	modal ranking.Ranking
-	cfg   Config
+	return tab, modal, nil
 }
 
 // Fig6 regenerates paper Figure 6: runtime of all eight methods as the
 // number of base rankings grows (n = 100 candidates, theta = 0.6,
 // Delta = 0.1). Base rankings are drawn with the O(n log n) Plackett-Luce
 // sampler so generation does not dominate the measured aggregation times.
+//
+// Profiles are sampled concurrently per size, then |R| x method cells run on
+// the worker pool. PD losses are deterministic across worker counts; the
+// Runtime column is wall-clock and contends under parallelism, so use
+// Workers: 1 for publication-grade timings.
 func Fig6(cfg Config) error {
 	sizes := []int{1000, 5000, 10000, 20000}
 	if cfg.Quick {
 		sizes = []int{200, 500}
 	}
-	seed, err := fig6Modal(100, cfg)
+	tab, modal, err := fig6Modal(100, cellRNG(cfg.Seed, "fig6modal"))
 	if err != nil {
 		return err
 	}
-	rng := cfg.rng()
-	pl := mallows.MustNewPlackettLuce(seed.modal, 0.6)
+	pl := mallows.MustNewPlackettLuce(modal, 0.6)
+	ctxs := make([]*runCtx, len(sizes))
+	err = runCells(cfg.workers(), len(sizes), func(si int) error {
+		p := pl.SampleProfile(sizes[si], cellRNG(cfg.Seed, "fig6", si))
+		var err error
+		ctxs[si], err = newRunCtx(p, tab, 0.1)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	methods := allMethods()
+	rows := make([]string, len(sizes)*len(methods))
+	err = runCells(cfg.workers(), len(rows), func(i int) error {
+		si, mi := i/len(methods), i%len(methods)
+		ctx, meth := ctxs[si], methods[mi]
+		start := time.Now()
+		r, err := meth.Run(ctx)
+		elapsed := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("experiments: fig6 |R|=%d %s: %w", sizes[si], meth.Name, err)
+		}
+		rows[i] = fmt.Sprintf("%d\t(%s) %s\t%v\t%.3f\n", sizes[si], meth.ID, meth.Name, elapsed.Round(time.Microsecond), ctx.w.PDLoss(r))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := newTabWriter(cfg.out())
 	fmt.Fprintln(tw, "|R|\tMethod\tRuntime\tPD_Loss")
-	for _, m := range sizes {
-		p := pl.SampleProfile(m, rng)
-		ctx, err := newRunCtx(p, seed.tab, 0.1)
-		if err != nil {
-			return err
-		}
-		for _, meth := range allMethods() {
-			start := time.Now()
-			r, err := meth.Run(ctx)
-			elapsed := time.Since(start)
-			if err != nil {
-				return fmt.Errorf("experiments: fig6 |R|=%d %s: %w", m, meth.Name, err)
-			}
-			fmt.Fprintf(tw, "%d\t(%s) %s\t%v\t%.3f\n", m, meth.ID, meth.Name, elapsed.Round(time.Microsecond), ctx.w.PDLoss(r))
-		}
+	for _, row := range rows {
+		fmt.Fprint(tw, row)
 	}
 	return tw.Flush()
 }
@@ -88,23 +99,24 @@ func Fig6(cfg Config) error {
 // large numbers of base rankings (up to 10^7 at paper scale). Following the
 // measurement's intent — aggregation cost, not data generation cost — the
 // profile cycles a pre-sampled pool of rankings up to the requested size.
+// Sizes run concurrently on the worker pool against the shared read-only
+// pool; use Workers: 1 for publication-grade timings.
 func Table2(cfg Config) error {
 	sizes := []int{1_000, 10_000, 100_000, 1_000_000, 10_000_000}
 	if cfg.Quick {
 		sizes = []int{1_000, 10_000, 100_000}
 	}
-	seed, err := fig6Modal(100, cfg)
+	tab, modal, err := fig6Modal(100, cellRNG(cfg.Seed, "fig6modal"))
 	if err != nil {
 		return err
 	}
-	rng := cfg.rng()
-	pl := mallows.MustNewPlackettLuce(seed.modal, 0.6)
+	pl := mallows.MustNewPlackettLuce(modal, 0.6)
 	const poolSize = 10_000
-	pool := pl.SampleProfile(poolSize, rng)
-	targets := core.Targets(seed.tab, 0.1)
-	tw := newTabWriter(cfg.out())
-	fmt.Fprintln(tw, "|R| Number of Rankings\tExecution time (s)")
-	for _, m := range sizes {
+	pool := pl.SampleProfile(poolSize, cellRNG(cfg.Seed, "table2pool"))
+	targets := core.Targets(tab, 0.1)
+	rows := make([]string, len(sizes))
+	err = runCells(cfg.workers(), len(sizes), func(si int) error {
+		m := sizes[si]
 		p := make(ranking.Profile, m)
 		for i := range p {
 			p[i] = pool[i%poolSize]
@@ -113,66 +125,103 @@ func Table2(cfg Config) error {
 		if _, err := core.FairBorda(p, targets); err != nil {
 			return fmt.Errorf("experiments: table2 |R|=%d: %w", m, err)
 		}
-		fmt.Fprintf(tw, "%d\t%.2f\n", m, time.Since(start).Seconds())
+		rows[si] = fmt.Sprintf("%d\t%.2f\n", m, time.Since(start).Seconds())
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "|R| Number of Rankings\tExecution time (s)")
+	for _, row := range rows {
+		fmt.Fprint(tw, row)
 	}
 	return tw.Flush()
 }
 
 // Fig7 regenerates paper Figure 7: runtime of all eight methods as the
 // candidate count grows (|R| = 100, theta = 0.6), under a tight Delta = 0.1
-// and a looser Delta = 0.33.
+// and a looser Delta = 0.33. Contexts are built concurrently per
+// (delta, n) cell, then delta x n x method cells run on the worker pool;
+// use Workers: 1 for publication-grade timings.
 func Fig7(cfg Config) error {
 	sizes := []int{100, 200, 300, 400, 500}
 	if cfg.Quick {
 		sizes = []int{60, 100}
 	}
-	rng := cfg.rng()
+	deltas := []float64{0.1, 0.33}
+	// One dataset (and precedence matrix) per candidate count, built
+	// concurrently; the tight and loose Delta are compared on the identical
+	// dataset, as in the paper — only the targets differ per delta.
+	base := make([]*runCtx, len(sizes))
+	err := runCells(cfg.workers(), len(sizes), func(ni int) error {
+		tab, modal, err := fig7Modal(sizes[ni], cellRNG(cfg.Seed, "fig7modal", ni))
+		if err != nil {
+			return err
+		}
+		pl := mallows.MustNewPlackettLuce(modal, 0.6)
+		p := pl.SampleProfile(100, cellRNG(cfg.Seed, "fig7", ni))
+		base[ni], err = newRunCtx(p, tab, deltas[0])
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	ctxs := make([]*runCtx, len(deltas)*len(sizes))
+	for di := range deltas {
+		for ni, bc := range base {
+			if di == 0 {
+				ctxs[ni] = bc
+				continue
+			}
+			ctxs[di*len(sizes)+ni] = &runCtx{p: bc.p, w: bc.w, tab: bc.tab, targets: core.Targets(bc.tab, deltas[di])}
+		}
+	}
+	methods := allMethods()
+	rows := make([]string, len(ctxs)*len(methods))
+	err = runCells(cfg.workers(), len(rows), func(i int) error {
+		ci, mi := i/len(methods), i%len(methods)
+		di, ni := ci/len(sizes), ci%len(sizes)
+		ctx, meth := ctxs[ci], methods[mi]
+		start := time.Now()
+		r, err := meth.Run(ctx)
+		elapsed := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("experiments: fig7 n=%d delta=%.2f %s: %w", sizes[ni], deltas[di], meth.Name, err)
+		}
+		rows[i] = fmt.Sprintf("%.2f\t%d\t(%s) %s\t%v\t%.3f\n", deltas[di], sizes[ni], meth.ID, meth.Name, elapsed.Round(time.Microsecond), ctx.w.PDLoss(r))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	tw := newTabWriter(cfg.out())
 	fmt.Fprintln(tw, "Delta\tCandidates\tMethod\tRuntime\tPD_Loss")
-	for _, delta := range []float64{0.1, 0.33} {
-		for _, n := range sizes {
-			seed, err := fig7Modal(n, cfg)
-			if err != nil {
-				return err
-			}
-			pl := mallows.MustNewPlackettLuce(seed.modal, 0.6)
-			p := pl.SampleProfile(100, rng)
-			ctx, err := newRunCtx(p, seed.tab, delta)
-			if err != nil {
-				return err
-			}
-			for _, meth := range allMethods() {
-				start := time.Now()
-				r, err := meth.Run(ctx)
-				elapsed := time.Since(start)
-				if err != nil {
-					return fmt.Errorf("experiments: fig7 n=%d delta=%.2f %s: %w", n, delta, meth.Name, err)
-				}
-				fmt.Fprintf(tw, "%.2f\t%d\t(%s) %s\t%v\t%.3f\n", delta, n, meth.ID, meth.Name, elapsed.Round(time.Microsecond), ctx.w.PDLoss(r))
-			}
-		}
+	for _, row := range rows {
+		fmt.Fprint(tw, row)
 	}
 	return tw.Flush()
 }
 
 // Table3 regenerates paper Table III: Fair-Borda execution time for large
-// candidate databases at Delta = 0.33 (|R| = 100, theta = 0.6).
+// candidate databases at Delta = 0.33 (|R| = 100, theta = 0.6). Sizes run
+// concurrently, each cell generating its own data from its coordinate RNG;
+// use Workers: 1 for publication-grade timings.
 func Table3(cfg Config) error {
 	sizes := []int{1_000, 10_000, 20_000, 50_000, 100_000}
 	if cfg.Quick {
 		sizes = []int{1_000, 4_000}
 	}
-	rng := cfg.rng()
-	tw := newTabWriter(cfg.out())
-	fmt.Fprintln(tw, "|X| Number of Candidates\tExecution time (s)")
-	for _, n := range sizes {
-		seed, err := fig7Modal(n, cfg)
+	rows := make([]string, len(sizes))
+	err := runCells(cfg.workers(), len(sizes), func(si int) error {
+		n := sizes[si]
+		tab, modal, err := fig7Modal(n, cellRNG(cfg.Seed, "table3modal", si))
 		if err != nil {
 			return err
 		}
-		pl := mallows.MustNewPlackettLuce(seed.modal, 0.6)
-		p := pl.SampleProfile(100, rng)
-		targets := core.Targets(seed.tab, 0.33)
+		pl := mallows.MustNewPlackettLuce(modal, 0.6)
+		p := pl.SampleProfile(100, cellRNG(cfg.Seed, "table3", si))
+		targets := core.Targets(tab, 0.33)
 		start := time.Now()
 		r, err := core.FairBorda(p, targets)
 		if err != nil {
@@ -182,7 +231,16 @@ func Table3(cfg Config) error {
 		if v, _ := core.MaxViolation(r, targets); v > 0 {
 			return fmt.Errorf("experiments: table3 n=%d: output violates targets by %v", n, v)
 		}
-		fmt.Fprintf(tw, "%d\t%.2f\n", n, elapsed.Seconds())
+		rows[si] = fmt.Sprintf("%d\t%.2f\n", n, elapsed.Seconds())
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "|X| Number of Candidates\tExecution time (s)")
+	for _, row := range rows {
+		fmt.Fprint(tw, row)
 	}
 	return tw.Flush()
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"manirank/internal/aggregate"
 	"manirank/internal/core"
@@ -36,12 +37,14 @@ func Table1(cfg Config) error {
 // only, full MANI-Rank) plus fairness-unaware Kemeny, across the three
 // Table I datasets and the theta consensus sweep, at Delta = 0.1. For each
 // cell it reports the consensus ranking's ARP Gender / ARP Race / IRP.
+//
+// Dataset x theta cells run concurrently on the Config.Workers pool; each
+// cell samples its profile from its own coordinate-derived RNG.
 func Fig3(cfg Config) error {
 	rankers := 150
 	if cfg.Quick {
 		rankers = 40
 	}
-	rng := cfg.rng()
 	kopts := kemenyOptions()
 	approaches := []struct {
 		name    string
@@ -52,33 +55,45 @@ func Fig3(cfg Config) error {
 		{"Intersection-only", func(c *runCtx) []core.Target { return core.IntersectionTarget(c.tab, 0.1) }},
 		{"MANI-Rank", func(c *runCtx) []core.Target { return core.Targets(c.tab, 0.1) }},
 	}
-	tw := newTabWriter(cfg.out())
-	fmt.Fprintln(tw, "Dataset\tTheta\tApproach\tARP_Gender\tARP_Race\tIRP")
-	for _, spec := range unfairgen.TableIDatasets() {
-		tab, modal, err := tableIModal(spec.Name)
+	specs, tabs, modals, err := tableIDatasets()
+	if err != nil {
+		return err
+	}
+	cells := len(specs) * len(thetas)
+	rows := make([]string, cells)
+	err = runCells(cfg.workers(), cells, func(i int) error {
+		di, ti := i/len(thetas), i%len(thetas)
+		spec, theta := specs[di], thetas[ti]
+		tab, modal := tabs[di], modals[di]
+		p := sampleProfile(modal, theta, rankers, cellRNG(cfg.Seed, "fig3", di, ti))
+		ctx, err := newRunCtx(p, tab, 0.1)
 		if err != nil {
 			return err
 		}
-		for _, theta := range thetas {
-			p := sampleProfile(modal, theta, rankers, rng)
-			ctx, err := newRunCtx(p, tab, 0.1)
-			if err != nil {
-				return err
-			}
-			for _, ap := range approaches {
-				targets := ap.targets(ctx)
-				var r ranking.Ranking
-				if len(targets) == 0 {
-					r = aggregate.Kemeny(ctx.w, kopts)
-				} else {
-					r, err = core.FairKemenyW(ctx.w, targets, core.Options{Kemeny: kopts})
-					if err != nil {
-						return fmt.Errorf("experiments: fig3 %s theta=%.1f %s: %w", spec.Name, theta, ap.name, err)
-					}
+		var b strings.Builder
+		for _, ap := range approaches {
+			targets := ap.targets(ctx)
+			var r ranking.Ranking
+			if len(targets) == 0 {
+				r = aggregate.Kemeny(ctx.w, kopts)
+			} else {
+				r, err = core.FairKemenyW(ctx.w, targets, core.Options{Kemeny: kopts})
+				if err != nil {
+					return fmt.Errorf("experiments: fig3 %s theta=%.1f %s: %w", spec.Name, theta, ap.name, err)
 				}
-				fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\n", spec.Name, theta, ap.name, auditCols(r, tab))
 			}
+			fmt.Fprintf(&b, "%s\t%.1f\t%s\t%s\n", spec.Name, theta, ap.name, auditCols(r, tab))
 		}
+		rows[i] = b.String()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(cfg.out())
+	fmt.Fprintln(tw, "Dataset\tTheta\tApproach\tARP_Gender\tARP_Race\tIRP")
+	for _, row := range rows {
+		fmt.Fprint(tw, row)
 	}
 	return tw.Flush()
 }
@@ -86,31 +101,47 @@ func Fig3(cfg Config) error {
 // Fig4 regenerates paper Figure 4: the eight-method comparison on the
 // Low-Fair dataset with Delta = 0.1, reporting PD loss, ARP Gender, ARP
 // Race and IRP for each theta.
+//
+// Profiles are sampled concurrently per theta, then every theta x method
+// cell runs on the worker pool against its theta's shared read-only context.
 func Fig4(cfg Config) error {
 	rankers := 150
 	if cfg.Quick {
 		rankers = 40
 	}
-	rng := cfg.rng()
 	tab, modal, err := tableIModal("Low-Fair")
+	if err != nil {
+		return err
+	}
+	ctxs := make([]*runCtx, len(thetas))
+	err = runCells(cfg.workers(), len(thetas), func(ti int) error {
+		p := sampleProfile(modal, thetas[ti], rankers, cellRNG(cfg.Seed, "fig4", ti))
+		var err error
+		ctxs[ti], err = newRunCtx(p, tab, 0.1)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	methods := allMethods()
+	rows := make([]string, len(thetas)*len(methods))
+	err = runCells(cfg.workers(), len(rows), func(i int) error {
+		ti, mi := i/len(methods), i%len(methods)
+		ctx, m := ctxs[ti], methods[mi]
+		r, err := m.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("experiments: fig4 theta=%.1f %s: %w", thetas[ti], m.Name, err)
+		}
+		rows[i] = fmt.Sprintf("%.1f\t(%s) %s\t%.3f\t%s\n", thetas[ti], m.ID, m.Name, ctx.w.PDLoss(r), auditCols(r, tab))
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	tw := newTabWriter(cfg.out())
 	fmt.Fprintln(tw, "Theta\tMethod\tPD_Loss\tARP_Gender\tARP_Race\tIRP")
-	for _, theta := range thetas {
-		p := sampleProfile(modal, theta, rankers, rng)
-		ctx, err := newRunCtx(p, tab, 0.1)
-		if err != nil {
-			return err
-		}
-		for _, m := range allMethods() {
-			r, err := m.Run(ctx)
-			if err != nil {
-				return fmt.Errorf("experiments: fig4 theta=%.1f %s: %w", theta, m.Name, err)
-			}
-			fmt.Fprintf(tw, "%.1f\t(%s) %s\t%.3f\t%s\n", theta, m.ID, m.Name, ctx.w.PDLoss(r), auditCols(r, tab))
-		}
+	for _, row := range rows {
+		fmt.Fprint(tw, row)
 	}
 	return tw.Flush()
 }
@@ -118,50 +149,58 @@ func Fig4(cfg Config) error {
 // Fig5 regenerates paper Figure 5, both panels. Left: Fair-Kemeny's Price of
 // Fairness versus theta on the three Table I datasets (Delta = 0.1). Right:
 // PoF versus the Delta parameter on the Low-Fair dataset at theta = 0.6 for
-// the four proposed methods plus Correct-Fairest-Perm.
+// the four proposed methods plus Correct-Fairest-Perm. Panel A parallelises
+// over dataset x theta cells, panel B over delta x method cells sharing one
+// read-only profile.
 func Fig5(cfg Config) error {
 	rankers := 150
 	if cfg.Quick {
 		rankers = 40
 	}
-	rng := cfg.rng()
 	kopts := kemenyOptions()
 	out := cfg.out()
 
-	tw := newTabWriter(out)
-	fmt.Fprintln(tw, "Panel A: Fair-Kemeny PoF vs theta (Delta = 0.1)")
-	fmt.Fprintln(tw, "Dataset\tTheta\tPoF")
-	for _, spec := range unfairgen.TableIDatasets() {
-		tab, modal, err := tableIModal(spec.Name)
+	specs, tabs, modals, err := tableIDatasets()
+	if err != nil {
+		return err
+	}
+	cellsA := len(specs) * len(thetas)
+	rowsA := make([]string, cellsA)
+	err = runCells(cfg.workers(), cellsA, func(i int) error {
+		di, ti := i/len(thetas), i%len(thetas)
+		spec, theta := specs[di], thetas[ti]
+		tab, modal := tabs[di], modals[di]
+		p := sampleProfile(modal, theta, rankers, cellRNG(cfg.Seed, "fig5a", di, ti))
+		ctx, err := newRunCtx(p, tab, 0.1)
 		if err != nil {
 			return err
 		}
-		for _, theta := range thetas {
-			p := sampleProfile(modal, theta, rankers, rng)
-			ctx, err := newRunCtx(p, tab, 0.1)
-			if err != nil {
-				return err
-			}
-			unfair := aggregate.Kemeny(ctx.w, kopts)
-			fair, err := core.FairKemenyW(ctx.w, ctx.targets, core.Options{Kemeny: kopts})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(tw, "%s\t%.1f\t%.4f\n", spec.Name, theta, core.PriceOfFairnessW(ctx.w, fair, unfair))
+		unfair := aggregate.Kemeny(ctx.w, kopts)
+		fair, err := core.FairKemenyW(ctx.w, ctx.targets, core.Options{Kemeny: kopts})
+		if err != nil {
+			return err
 		}
+		rowsA[i] = fmt.Sprintf("%s\t%.1f\t%.4f\n", spec.Name, theta, core.PriceOfFairnessW(ctx.w, fair, unfair))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(out)
+	fmt.Fprintln(tw, "Panel A: Fair-Kemeny PoF vs theta (Delta = 0.1)")
+	fmt.Fprintln(tw, "Dataset\tTheta\tPoF")
+	for _, row := range rowsA {
+		fmt.Fprint(tw, row)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
 
-	tw = newTabWriter(out)
-	fmt.Fprintln(tw, "\nPanel B: Delta vs PoF (Low-Fair, theta = 0.6)")
-	fmt.Fprintln(tw, "Delta\tMethod\tPoF")
 	tab, modal, err := tableIModal("Low-Fair")
 	if err != nil {
 		return err
 	}
-	p := sampleProfile(modal, 0.6, rankers, rng)
+	p := sampleProfile(modal, 0.6, rankers, cellRNG(cfg.Seed, "fig5b"))
 	w, err := ranking.NewPrecedence(p)
 	if err != nil {
 		return err
@@ -182,15 +221,26 @@ func Fig5(cfg Config) error {
 			return core.CorrectFairestPerm(p, t)
 		}},
 	}
-	for _, delta := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
-		targets := core.Targets(tab, delta)
-		for _, dm := range deltaMethods {
-			fair, err := dm.run(targets)
-			if err != nil {
-				return fmt.Errorf("experiments: fig5 delta=%.1f %s: %w", delta, dm.name, err)
-			}
-			fmt.Fprintf(tw, "%.1f\t(%s) %s\t%.4f\n", delta, dm.id, dm.name, core.PriceOfFairnessW(w, fair, unfair))
+	deltas := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	rowsB := make([]string, len(deltas)*len(deltaMethods))
+	err = runCells(cfg.workers(), len(rowsB), func(i int) error {
+		deltaIdx, mi := i/len(deltaMethods), i%len(deltaMethods)
+		delta, dm := deltas[deltaIdx], deltaMethods[mi]
+		fair, err := dm.run(core.Targets(tab, delta))
+		if err != nil {
+			return fmt.Errorf("experiments: fig5 delta=%.1f %s: %w", delta, dm.name, err)
 		}
+		rowsB[i] = fmt.Sprintf("%.1f\t(%s) %s\t%.4f\n", delta, dm.id, dm.name, core.PriceOfFairnessW(w, fair, unfair))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tw = newTabWriter(out)
+	fmt.Fprintln(tw, "\nPanel B: Delta vs PoF (Low-Fair, theta = 0.6)")
+	fmt.Fprintln(tw, "Delta\tMethod\tPoF")
+	for _, row := range rowsB {
+		fmt.Fprint(tw, row)
 	}
 	return tw.Flush()
 }

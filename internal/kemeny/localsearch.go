@@ -8,18 +8,14 @@ import (
 
 // BordaFromPrecedence returns the Borda consensus computed directly from a
 // precedence matrix: candidate c earns one point for every (ranking, rival)
-// pair that places c above the rival. Ties break by candidate id for
-// determinism.
+// pair that places c above the rival, i.e. m*(n-1) minus c's row sum. One
+// sequential pass per row. Ties break by candidate id for determinism.
 func BordaFromPrecedence(w *ranking.Precedence) ranking.Ranking {
 	n := w.N()
 	m := w.Rankings()
 	points := make([]int, n)
 	for c := 0; c < n; c++ {
-		for b := 0; b < n; b++ {
-			if b != c {
-				points[c] += m - w.At(c, b)
-			}
-		}
+		points[c] = m*(n-1) - w.RowSum(c)
 	}
 	return ranking.SortByPointsDesc(points)
 }
@@ -29,7 +25,17 @@ func BordaFromPrecedence(w *ranking.Precedence) ranking.Ranking {
 // O(n^2); the insertion neighbourhood is the standard Kemeny local search
 // (Ali & Meila 2012).
 func LocalSearch(w *ranking.Precedence, r ranking.Ranking) ranking.Ranking {
+	localSearchDelta(w, r)
+	return r
+}
+
+// localSearchDelta runs the insertion local search on r in place and returns
+// the total Kemeny-cost change — every move's gain is already known from the
+// incremental scan, so callers tracking an exact cost never pay for an
+// O(n^2) KemenyCost recomputation.
+func localSearchDelta(w *ranking.Precedence, r ranking.Ranking) int {
 	n := len(r)
+	total := 0
 	for improved := true; improved; {
 		improved = false
 		for i := 0; i < n; i++ {
@@ -56,11 +62,12 @@ func LocalSearch(w *ranking.Precedence, r ranking.Ranking) ranking.Ranking {
 			}
 			if bestDelta < 0 {
 				r.MoveTo(i, bestPos)
+				total += bestDelta
 				improved = true
 			}
 		}
 	}
-	return r
+	return total
 }
 
 // Options tunes the heuristic solvers.
@@ -92,35 +99,49 @@ func (o Options) withDefaults() Options {
 // majority (e.g. Mallows data with theta >= 0.2) it recovers the exact
 // optimum (the majority order is the unique local optimum of the insertion
 // neighbourhood there).
+//
+// The cost is tracked incrementally across the whole run — one full
+// KemenyCost evaluation of the Borda seed, then only O(move) deltas from the
+// perturbation and search moves — and the two rankings (best, cur) are the
+// only buffers allocated after seeding.
 func Heuristic(w *ranking.Precedence, opts Options) ranking.Ranking {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
-	best := LocalSearch(w, BordaFromPrecedence(w))
-	bestCost := w.KemenyCost(best)
+	best := BordaFromPrecedence(w)
+	bestCost := w.KemenyCost(best) + localSearchDelta(w, best)
 	cur := best.Clone()
+	curCost := bestCost
 	for p := 0; p < opts.Perturbations; p++ {
-		perturb(cur, opts.Strength, rng)
-		LocalSearch(w, cur)
-		if c := w.KemenyCost(cur); c < bestCost {
-			bestCost = c
+		curCost += perturbDelta(w, cur, opts.Strength, rng)
+		curCost += localSearchDelta(w, cur)
+		if curCost < bestCost {
+			bestCost = curCost
 			copy(best, cur)
 		} else {
 			copy(cur, best)
+			curCost = bestCost
 		}
 	}
 	return best
 }
 
-func perturb(r ranking.Ranking, strength int, rng *rand.Rand) {
+// perturbDelta applies strength random insertion moves to r and returns
+// their total Kemeny-cost change via the O(|i-j|) MoveDelta fast path.
+func perturbDelta(w *ranking.Precedence, r ranking.Ranking, strength int, rng *rand.Rand) int {
 	n := len(r)
 	if n < 2 {
-		return
+		return 0
 	}
+	delta := 0
 	for s := 0; s < strength; s++ {
 		i := rng.Intn(n)
 		j := rng.Intn(n)
-		r.MoveTo(i, j)
+		if i != j {
+			delta += w.MoveDelta(r, i, j)
+			r.MoveTo(i, j)
+		}
 	}
+	return delta
 }
 
 // ConstrainedLocalSearch minimises Kemeny cost over rankings satisfying cons
@@ -134,17 +155,18 @@ func ConstrainedLocalSearch(w *ranking.Precedence, cons []Constraint, start rank
 	}
 	r := start.Clone()
 	n := len(r)
+	// Improving insertion positions for the current candidate, collected per
+	// scan; the buffer is reused across candidates and passes.
+	type move struct {
+		pos   int
+		delta int
+	}
+	cands := make([]move, 0, n)
 	for improved := true; improved; {
 		improved = false
 		for i := 0; i < n; i++ {
 			c := r[i]
-			// Collect improving insertion positions in order of decreasing
-			// gain, then accept the best feasible one.
-			type move struct {
-				pos   int
-				delta int
-			}
-			var cands []move
+			cands = cands[:0]
 			delta := 0
 			for j := i - 1; j >= 0; j-- {
 				y := r[j]

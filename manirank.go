@@ -103,9 +103,17 @@ func NewTable(n int, attrs ...*Attribute) (*Table, error) {
 	return attribute.NewTable(n, attrs...)
 }
 
-// NewPrecedence computes the precedence matrix of a profile in
-// O(n^2 * |R|).
+// NewPrecedence computes the precedence matrix of a profile with the
+// upper-triangle accumulation kernel (n(n-1)/2 branch-free increments per
+// base ranking), sharded over a worker pool for large profiles.
 func NewPrecedence(p Profile) (*Precedence, error) { return ranking.NewPrecedence(p) }
+
+// NewPrecedenceWorkers is NewPrecedence with an explicit construction worker
+// count (0 auto-sizes, 1 forces the serial kernel). The matrix is bitwise
+// identical for every worker count.
+func NewPrecedenceWorkers(p Profile, workers int) (*Precedence, error) {
+	return ranking.NewPrecedenceWorkers(p, workers)
+}
 
 // NewMallows constructs a Mallows model centred at modal with spread theta.
 func NewMallows(modal Ranking, theta float64) (*MallowsModel, error) {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# bench.sh [N] — run the core micro-benchmarks and write BENCH_<N>.json
+# (default N=1) in the repo root, seeding the per-PR perf trajectory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+N="${1:-1}"
+OUT="BENCH_${N}.json"
+
+BENCHES='BenchmarkPrecedenceMatrix100x150|BenchmarkMakeMRFair90|BenchmarkMallowsSample90|BenchmarkPlackettLuce100k|BenchmarkAblationILSBordaInit'
+
+RAW="$(go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-1s}" .)"
+echo "$RAW"
+
+{
+  echo '{'
+  echo "  \"pr\": ${N},"
+  echo "  \"goos\": \"$(go env GOOS)\","
+  echo "  \"goarch\": \"$(go env GOARCH)\","
+  echo '  "benchmarks": {'
+  echo "$RAW" | awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      lines[++count] = sprintf("    \"%s\": {\"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3)
+    }
+    END {
+      for (i = 1; i <= count; i++) printf "%s%s\n", lines[i], (i < count ? "," : "")
+    }'
+  echo '  }'
+  echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"
