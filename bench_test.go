@@ -197,23 +197,60 @@ func BenchmarkMakeMRFair90(b *testing.B) {
 }
 
 // BenchmarkMallowsSample90 measures one exact RIM Mallows draw at the
-// paper's figure scale.
+// paper's figure scale through the zero-allocation sampler path (profile
+// generation draws 20k+ of these in fig6). Steady state must report
+// 0 allocs/op.
 func BenchmarkMallowsSample90(b *testing.B) {
 	rng := rand.New(rand.NewSource(12))
-	m := mallows.MustNew(ranking.Random(90, rng), 0.6)
+	s := mallows.MustNew(ranking.Random(90, rng), 0.6).Sampler()
+	dst := make(ranking.Ranking, 90)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Sample(rng)
+		s.SampleInto(dst, rng)
 	}
 }
 
 // BenchmarkPlackettLuce100k measures one approximate draw at Table III
-// scale.
+// scale through the zero-allocation sampler path. Steady state must report
+// 0 allocs/op.
 func BenchmarkPlackettLuce100k(b *testing.B) {
 	rng := rand.New(rand.NewSource(13))
-	pl := mallows.MustNewPlackettLuce(ranking.New(100_000), 0.6)
+	s := mallows.MustNewPlackettLuce(ranking.New(100_000), 0.6).Sampler()
+	dst := make(ranking.Ranking, 100_000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pl.Sample(rng)
+		s.SampleInto(dst, rng)
 	}
 }
+
+// restartBenchInstance builds the restart-dominated Kemeny workload: a noisy
+// profile large enough that the perturbation restarts, not the Borda seed
+// descent, carry most of the work.
+func restartBenchInstance(b *testing.B) (*ranking.Precedence, kemeny.Options) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(14))
+	modal := ranking.Random(220, rng)
+	p := mallows.MustNew(modal, 0.05).SampleProfile(11, rng)
+	return ranking.MustPrecedence(p), kemeny.Options{Seed: 14, Perturbations: 24, Strength: 8}
+}
+
+// benchHeuristicRestarts runs the sharded-restart Kemeny heuristic at a
+// fixed pool width. Output is bitwise identical across widths, so W1 vs W4
+// is a pure wall-clock comparison (the ~2x+ speedup needs 4+ hardware
+// threads; single-CPU runners serialise the shards).
+func benchHeuristicRestarts(b *testing.B, workers int) {
+	w, opts := restartBenchInstance(b)
+	opts.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kemeny.Heuristic(w, opts)
+	}
+}
+
+// BenchmarkHeuristicRestartsW1 runs the restarts sequentially.
+func BenchmarkHeuristicRestartsW1(b *testing.B) { benchHeuristicRestarts(b, 1) }
+
+// BenchmarkHeuristicRestartsW4 shards the restarts over 4 workers.
+func BenchmarkHeuristicRestartsW4(b *testing.B) { benchHeuristicRestarts(b, 4) }

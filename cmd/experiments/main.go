@@ -24,7 +24,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "random seed (runs are reproducible per seed)")
 	quick := flag.Bool("quick", false, "shrink the heaviest workloads for a fast smoke run")
-	workers := flag.Int("workers", 0, "worker pool size for independent experiment cells (0 = all CPUs, 1 = sequential; results are identical either way, but per-cell runtimes contend — time with 1)")
+	workers := flag.Int("workers", 0, "worker pool size for independent experiment cells (0 = all CPUs, 1 = sequential; results are identical either way, but per-cell runtimes contend — time with 1; in-cell solver restarts stay sequential to keep timed columns honest)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-quick] [-workers N] <%s|all>\n",
 			strings.Join(experiments.ExperimentIDs(), "|"))
@@ -36,7 +36,9 @@ func main() {
 		os.Exit(2)
 	}
 	// The flag also governs kernel-level parallelism (precedence-matrix
-	// sharding) so -workers 1 is a fully sequential, contention-free run.
+	// sharding) so -workers 1 is a fully sequential, contention-free run;
+	// solver restarts are pinned sequential inside the harness (see
+	// experiments.Config.kemenyOptions).
 	ranking.DefaultWorkers = *workers
 	cfg := experiments.Config{Seed: *seed, Out: os.Stdout, Quick: *quick, Workers: *workers}
 	start := time.Now()

@@ -25,6 +25,7 @@ import (
 	"manirank/internal/attribute"
 	"manirank/internal/core"
 	"manirank/internal/fairness"
+	"manirank/internal/kemeny"
 	"manirank/internal/mallows"
 	"manirank/internal/ranking"
 	"manirank/internal/unfairgen"
@@ -99,7 +100,7 @@ func cmdAggregate(args []string) error {
 	rankings := fs.String("rankings", "", "base rankings CSV (required)")
 	delta := fs.Float64("delta", 0.1, "MANI-Rank fairness threshold in [0,1]")
 	methodName := fs.String("method", "fair-kemeny", "fair-kemeny|fair-copeland|fair-schulze|fair-borda|kemeny|borda|copeland|schulze")
-	workers := fs.Int("workers", 0, "worker pool size for precedence-matrix construction (0 = all CPUs)")
+	workers := fs.Int("workers", 0, "worker pool size for precedence-matrix construction and Kemeny restart sharding (0 = all CPUs, 1 = sequential; results identical either way)")
 	out := fs.String("o", "", "write the consensus ranking CSV here (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,10 +114,14 @@ func cmdAggregate(args []string) error {
 		return err
 	}
 	targets := core.Targets(tab, *delta)
+	// The same flag governs solver-layer parallelism: heuristic-Kemeny and
+	// constrained-search restarts shard across this many workers with
+	// bitwise-identical output for every width.
+	kopts := aggregate.KemenyOptions{Heuristic: kemeny.Options{Workers: *workers}}
 	var consensus ranking.Ranking
 	switch strings.ToLower(*methodName) {
 	case "fair-kemeny":
-		consensus, err = core.FairKemeny(p, targets, core.Options{})
+		consensus, err = core.FairKemeny(p, targets, core.Options{Kemeny: kopts})
 	case "fair-copeland":
 		consensus, err = core.FairCopeland(p, targets)
 	case "fair-schulze":
@@ -126,7 +131,7 @@ func cmdAggregate(args []string) error {
 	case "kemeny":
 		var w *ranking.Precedence
 		if w, err = ranking.NewPrecedence(p); err == nil {
-			consensus = aggregate.Kemeny(w, aggregate.KemenyOptions{})
+			consensus = aggregate.Kemeny(w, kopts)
 		}
 	case "borda":
 		consensus, err = aggregate.Borda(p)

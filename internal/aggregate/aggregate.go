@@ -129,7 +129,10 @@ func DefaultKemenyOptions() KemenyOptions {
 	return KemenyOptions{ExactThreshold: 12, MaxNodes: 20_000_000}
 }
 
-func (o KemenyOptions) withDefaults() KemenyOptions {
+// WithDefaults fills the zero fields of o with the package defaults, leaving
+// the Heuristic tuning (restart count, strength, Workers) untouched so
+// callers plumbing solver-layer options through keep them.
+func (o KemenyOptions) WithDefaults() KemenyOptions {
 	d := DefaultKemenyOptions()
 	if o.ExactThreshold == 0 {
 		o.ExactThreshold = d.ExactThreshold
@@ -144,7 +147,7 @@ func (o KemenyOptions) withDefaults() KemenyOptions {
 // the profile summarised by w: exactly (branch-and-bound) for small n,
 // heuristically (Borda-seeded iterated local search) for large n.
 func Kemeny(w *ranking.Precedence, opts KemenyOptions) ranking.Ranking {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	if w.N() <= opts.ExactThreshold {
 		seed := kemeny.LocalSearch(w, kemeny.BordaFromPrecedence(w))
 		res := kemeny.BranchAndBound(w, nil, seed, opts.MaxNodes)

@@ -1,0 +1,57 @@
+package attribute
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAttributeCSV asserts the candidate-table CSV parser never panics on
+// arbitrary input, and that accepted tables reach a canonical form in one
+// write/read cycle: writing a parsed table and re-reading it must be a fixed
+// point (the first parse may normalise quoting and line endings, the second
+// must not change anything).
+func FuzzAttributeCSV(f *testing.F) {
+	f.Add([]byte("candidate,Gender\n0,M\n1,W\n"))
+	f.Add([]byte("id,Gender,Race\n1,W,B\n0,M,A\n2,M,B\n"))
+	f.Add([]byte("candidate,Attr\n0,\" x,y\"\n1,z\n"))
+	f.Add([]byte("candidate\n0\n"))
+	f.Add([]byte("candidate,G\n0,M\n0,M\n"))
+	f.Add([]byte("\xff\xfe,,,\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := ReadTableCSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; only panics are failures here
+		}
+		var first bytes.Buffer
+		if err := WriteTableCSV(&first, tab); err != nil {
+			t.Fatalf("accepted table failed to serialise: %v", err)
+		}
+		tab2, err := ReadTableCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("serialised table rejected on re-read: %v\nCSV:\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := WriteTableCSV(&second, tab2); err != nil {
+			t.Fatalf("round-tripped table failed to serialise: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("write/read is not a fixed point:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+		if tab2.N() != tab.N() || len(tab2.Attrs()) != len(tab.Attrs()) {
+			t.Fatalf("round-trip changed shape: %dx%d -> %dx%d",
+				tab.N(), len(tab.Attrs()), tab2.N(), len(tab2.Attrs()))
+		}
+		for i, a := range tab.Attrs() {
+			b := tab2.Attrs()[i]
+			if a.Name != b.Name || a.DomainSize() != b.DomainSize() {
+				t.Fatalf("round-trip changed attribute %d: %q(%d) -> %q(%d)",
+					i, a.Name, a.DomainSize(), b.Name, b.DomainSize())
+			}
+			for c := 0; c < tab.N(); c++ {
+				if a.Of[c] != b.Of[c] {
+					t.Fatalf("round-trip changed group of candidate %d under %q", c, a.Name)
+				}
+			}
+		}
+	})
+}

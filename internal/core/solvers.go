@@ -73,10 +73,7 @@ func FairKemeny(p ranking.Profile, targets []Target, opts Options) (ranking.Rank
 
 // FairKemenyW is FairKemeny on a precomputed precedence matrix.
 func FairKemenyW(w *ranking.Precedence, targets []Target, opts Options) (ranking.Ranking, error) {
-	kopts := opts.Kemeny
-	if kopts.ExactThreshold == 0 {
-		kopts = aggregate.DefaultKemenyOptions()
-	}
+	kopts := opts.Kemeny.WithDefaults()
 	unfair := aggregate.Kemeny(w, kopts)
 	incumbent, err := MakeMRFair(unfair, targets)
 	if err != nil {
@@ -89,7 +86,7 @@ func FairKemenyW(w *ranking.Precedence, targets []Target, opts Options) (ranking
 			return res.Ranking, nil
 		}
 	}
-	return kemeny.ConstrainedLocalSearch(w, cons, incumbent), nil
+	return kemeny.ConstrainedSearch(w, cons, incumbent, kopts.Heuristic), nil
 }
 
 // PickFairest returns the base ranking minimising the maximum violation of

@@ -78,7 +78,7 @@ func caseStudyTable(cfg Config, tab *attribute.Table, p ranking.Profile, labels 
 	for i, r := range p {
 		row(labels[i], r)
 	}
-	kopts := kemenyOptions()
+	kopts := cfg.kemenyOptions()
 	row("Kemeny", aggregate.Kemeny(ctx.w, kopts))
 	solvers := []struct {
 		name string

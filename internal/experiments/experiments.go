@@ -15,6 +15,7 @@ import (
 	"manirank/internal/attribute"
 	"manirank/internal/core"
 	"manirank/internal/fairness"
+	"manirank/internal/kemeny"
 	"manirank/internal/mallows"
 	"manirank/internal/ranking"
 	"manirank/internal/unfairgen"
@@ -56,9 +57,20 @@ func (c Config) out() io.Writer {
 // thetas is the consensus sweep used throughout the paper's figures.
 var thetas = []float64{0.2, 0.4, 0.6, 0.8}
 
-// kemenyOptions returns solver options sized to the experiment scale.
-func kemenyOptions() aggregate.KemenyOptions {
-	return aggregate.KemenyOptions{ExactThreshold: 12, MaxNodes: 2_000_000}
+// kemenyOptions returns solver options sized to the experiment scale. Solver
+// restarts are pinned sequential inside the harness: the cell pool already
+// owns the machine's parallelism, and a restart pool per cell would
+// oversubscribe the CPUs multiplicatively and contend the wall-clock Runtime
+// columns the scalability artifacts report. Restart sharding
+// (kemeny.Options.Workers) is for single-solve surfaces — manirank
+// aggregate and library callers. Solver output is identical for every pool
+// width, so this pin never changes a table.
+func (c Config) kemenyOptions() aggregate.KemenyOptions {
+	return aggregate.KemenyOptions{
+		ExactThreshold: 12,
+		MaxNodes:       2_000_000,
+		Heuristic:      kemeny.Options{Workers: 1},
+	}
 }
 
 // runCtx bundles one consensus problem instance.
@@ -89,8 +101,9 @@ type method struct {
 // Every method's Run is self-contained — pairwise methods build their own
 // precedence matrix from the profile — so the scalability figures time the
 // same end-to-end work the paper measures.
-func allMethods() []method {
-	opts := core.Options{Kemeny: kemenyOptions()}
+func allMethods(cfg Config) []method {
+	kopts := cfg.kemenyOptions()
+	opts := core.Options{Kemeny: kopts}
 	return []method{
 		{"A1", "Fair-Kemeny", func(c *runCtx) (ranking.Ranking, error) {
 			w, err := ranking.NewPrecedence(c.p)
@@ -113,10 +126,10 @@ func allMethods() []method {
 			if err != nil {
 				return nil, err
 			}
-			return aggregate.Kemeny(w, kemenyOptions()), nil
+			return aggregate.Kemeny(w, kopts), nil
 		}},
 		{"B2", "Kemeny-Weighted", func(c *runCtx) (ranking.Ranking, error) {
-			return aggregate.KemenyWeighted(c.p, c.tab, kemenyOptions())
+			return aggregate.KemenyWeighted(c.p, c.tab, kopts)
 		}},
 		{"B3", "Pick-Fairest-Perm", func(c *runCtx) (ranking.Ranking, error) {
 			return aggregate.PickFairestPerm(c.p, c.tab)

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run TestGoldenQuickTables -update
+//
+// Commit the regenerated files together with whatever intentional change
+// moved the numbers; EXPERIMENTS.md explains the workflow.
+var update = flag.Bool("update", false, "rewrite the experiment golden files")
+
+// heavyQuick lists experiments that are slow even at Quick scale; they are
+// skipped under -short, matching TestEveryExperimentRunsQuick.
+var heavyQuick = map[string]bool{"fig3": true, "fig7": true, "table2": true}
+
+// pinnedWorkerIDs also run sequentially (Workers: 1) against the same golden
+// file, pinning the worker-count determinism guarantee end to end: one
+// committed byte stream, every pool width.
+var pinnedWorkerIDs = map[string]bool{"table1": true, "fig2": true, "fig4": true, "table4": true}
+
+// canonical strips the only non-deterministic output — wall-clock timing
+// columns — from an experiment table. Duration tokens (fig6/fig7 Runtime)
+// become "T" via stripRuntimes, which also collapses the tabwriter padding
+// their widths perturb; table2/table3 report seconds as bare floats, so
+// their two-column data rows lose the seconds field the same way.
+func canonical(id, out string) string {
+	out = stripRuntimes(out)
+	if id != "table2" && id != "table3" {
+		return out
+	}
+	lines := strings.Split(out, "\n")
+	for li, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[0]); err != nil {
+			continue
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err == nil && strings.Contains(fields[1], ".") {
+			fields[1] = "T"
+			lines[li] = strings.Join(fields, " ")
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// goldenRun executes one experiment at Quick scale with the given pool width
+// and returns its canonicalised table.
+func goldenRun(t *testing.T, id string, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(id, Config{Seed: 1, Out: &buf, Quick: true, Workers: workers}); err != nil {
+		t.Fatalf("%s (workers=%d): %v", id, workers, err)
+	}
+	return canonical(id, buf.String())
+}
+
+// TestGoldenQuickTables is the numeric per-cell regression ROADMAP asks for:
+// every experiment's Quick table is compared byte-for-byte (timing columns
+// canonicalised) against a committed golden file. Any change to sampling,
+// solvers, seeding, or formatting shows up as a diff here and must be
+// re-recorded with -update.
+func TestGoldenQuickTables(t *testing.T) {
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && heavyQuick[id] {
+				t.Skip("heavy even in quick mode")
+			}
+			got := goldenRun(t, id, 4)
+			path := filepath.Join("testdata", "golden", id+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to record): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s deviates from %s — if intentional, re-record with -update\n--- got ---\n%s\n--- want ---\n%s",
+					id, path, got, string(want))
+			}
+			if pinnedWorkerIDs[id] {
+				if seq := goldenRun(t, id, 1); seq != got {
+					t.Fatalf("%s: Workers:1 output deviates from the Workers:4 golden\n--- sequential ---\n%s\n--- golden ---\n%s",
+						id, seq, got)
+				}
+			}
+		})
+	}
+}

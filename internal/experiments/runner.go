@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"manirank/internal/ranking"
 )
 
 // runCells executes fn(i) for cells 0..count-1 on a bounded pool of `workers`
@@ -54,23 +56,17 @@ func runCells(workers, count int, fn func(i int) error) error {
 }
 
 // cellSeed derives the RNG seed of one experiment cell from the run seed, the
-// experiment label, and the cell coordinates, via splitmix64 finalisation.
+// experiment label, and the cell coordinates, via the shared splitmix64
+// finaliser (ranking.SplitMix64, also behind the solver restart seeds).
 // Cells own their randomness: no cell observes another cell's draws, which is
 // what makes parallel schedules bitwise-reproducible.
 func cellSeed(seed int64, label string, coords ...int) int64 {
-	h := uint64(seed) ^ 0x9e3779b97f4a7c15
-	mix := func(v uint64) {
-		h ^= v
-		h *= 0xbf58476d1ce4e5b9
-		h ^= h >> 27
-		h *= 0x94d049bb133111eb
-		h ^= h >> 31
-	}
+	h := uint64(seed) ^ ranking.SplitMix64Init
 	for _, c := range []byte(label) {
-		mix(uint64(c))
+		h = ranking.SplitMix64(h, uint64(c))
 	}
 	for _, c := range coords {
-		mix(uint64(c) + 1)
+		h = ranking.SplitMix64(h, uint64(c)+1)
 	}
 	return int64(h)
 }

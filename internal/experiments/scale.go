@@ -70,7 +70,7 @@ func Fig6(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	methods := allMethods()
+	methods := allMethods(cfg)
 	rows := make([]string, len(sizes)*len(methods))
 	err = runCells(cfg.workers(), len(rows), func(i int) error {
 		si, mi := i/len(methods), i%len(methods)
@@ -177,7 +177,7 @@ func Fig7(cfg Config) error {
 			ctxs[di*len(sizes)+ni] = &runCtx{p: bc.p, w: bc.w, tab: bc.tab, targets: core.Targets(bc.tab, deltas[di])}
 		}
 	}
-	methods := allMethods()
+	methods := allMethods(cfg)
 	rows := make([]string, len(ctxs)*len(methods))
 	err = runCells(cfg.workers(), len(rows), func(i int) error {
 		ci, mi := i/len(methods), i%len(methods)

@@ -45,7 +45,7 @@ func Fig3(cfg Config) error {
 	if cfg.Quick {
 		rankers = 40
 	}
-	kopts := kemenyOptions()
+	kopts := cfg.kemenyOptions()
 	approaches := []struct {
 		name    string
 		targets func(c *runCtx) []core.Target
@@ -123,7 +123,7 @@ func Fig4(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	methods := allMethods()
+	methods := allMethods(cfg)
 	rows := make([]string, len(thetas)*len(methods))
 	err = runCells(cfg.workers(), len(rows), func(i int) error {
 		ti, mi := i/len(methods), i%len(methods)
@@ -157,7 +157,7 @@ func Fig5(cfg Config) error {
 	if cfg.Quick {
 		rankers = 40
 	}
-	kopts := kemenyOptions()
+	kopts := cfg.kemenyOptions()
 	out := cfg.out()
 
 	specs, tabs, modals, err := tableIDatasets()
@@ -257,7 +257,7 @@ func Fig2(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	kopts := kemenyOptions()
+	kopts := cfg.kemenyOptions()
 	kem := aggregate.Kemeny(ctx.w, kopts)
 	fair, err := core.FairKemenyW(ctx.w, ctx.targets, core.Options{Kemeny: kopts})
 	if err != nil {

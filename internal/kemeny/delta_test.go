@@ -26,16 +26,24 @@ func TestLocalSearchDeltaMatchesFullCost(t *testing.T) {
 	}
 }
 
-// TestPerturbDeltaMatchesFullCost does the same for the perturbation moves.
+// TestPerturbDeltaMatchesFullCost does the same for the perturbation moves,
+// both unconstrained (nil constraints accept every move) and constrained.
 func TestPerturbDeltaMatchesFullCost(t *testing.T) {
-	f := func(seed int64) bool {
+	f := func(seed int64, constrained bool) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n, m := 2+rng.Intn(25), 1+rng.Intn(8)
 		w := ranking.MustPrecedence(randomProfile(n, m, rng))
 		r := ranking.Random(n, rng)
+		var cons []Constraint
+		if constrained && n >= 4 {
+			cons = []Constraint{{Attr: binaryAttr(n, rng), Delta: 0.9}}
+		}
+		wasFeasible := Feasible(r, cons)
 		before := w.KemenyCost(r)
-		delta := perturbDelta(w, r, 6, rng)
-		return before+delta == w.KemenyCost(r)
+		delta := perturbFeasibleDelta(w, cons, r, 6, rng)
+		// The delta is exact, and feasibility-preserving moves never break a
+		// feasible start.
+		return before+delta == w.KemenyCost(r) && (!wasFeasible || Feasible(r, cons))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)

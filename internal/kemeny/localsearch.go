@@ -1,8 +1,6 @@
 package kemeny
 
 import (
-	"math/rand"
-
 	"manirank/internal/ranking"
 )
 
@@ -75,12 +73,21 @@ type Options struct {
 	// Seed drives all randomised components; a fixed seed gives
 	// reproducible results.
 	Seed int64
-	// Perturbations is the number of iterated-local-search restarts applied
-	// after the first local optimum (default 8).
+	// Perturbations is the number of independent perturbed restarts applied
+	// after the first local optimum (default 8; negative disables restarts).
+	// Each restart perturbs the seed local optimum — not a shared incumbent —
+	// which is what makes restarts schedulable in any order on any worker
+	// count.
 	Perturbations int
 	// Strength is the number of random insertion moves per perturbation
 	// (default 4).
 	Strength int
+	// Workers bounds the restart worker pool: the Perturbations restarts are
+	// independent given their per-restart RNGs and run concurrently on up to
+	// this many goroutines. 0 auto-sizes to GOMAXPROCS; 1 runs restarts
+	// sequentially. The result is bitwise identical for every value — same
+	// invariant as ranking.NewPrecedenceWorkers.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -94,54 +101,23 @@ func (o Options) withDefaults() Options {
 }
 
 // Heuristic returns a high-quality Kemeny consensus: Borda seed, local
-// search, then iterated local search with random insertion perturbations,
-// keeping the best ranking seen. On profiles with a transitive pairwise
-// majority (e.g. Mallows data with theta >= 0.2) it recovers the exact
-// optimum (the majority order is the unique local optimum of the insertion
-// neighbourhood there).
+// search, then Perturbations independent perturbed restarts from that local
+// optimum, keeping the best ranking seen. On profiles with a transitive
+// pairwise majority (e.g. Mallows data with theta >= 0.2) it recovers the
+// exact optimum (the majority order is the unique local optimum of the
+// insertion neighbourhood there).
 //
 // The cost is tracked incrementally across the whole run — one full
 // KemenyCost evaluation of the Borda seed, then only O(move) deltas from the
-// perturbation and search moves — and the two rankings (best, cur) are the
-// only buffers allocated after seeding.
+// perturbation and search moves. Restarts derive their RNGs from
+// (Options.Seed, restart index) and run on an Options.Workers pool
+// (restarts.go); the result is bitwise identical for every worker count.
 func Heuristic(w *ranking.Precedence, opts Options) ranking.Ranking {
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	best := BordaFromPrecedence(w)
-	bestCost := w.KemenyCost(best) + localSearchDelta(w, best)
-	cur := best.Clone()
-	curCost := bestCost
-	for p := 0; p < opts.Perturbations; p++ {
-		curCost += perturbDelta(w, cur, opts.Strength, rng)
-		curCost += localSearchDelta(w, cur)
-		if curCost < bestCost {
-			bestCost = curCost
-			copy(best, cur)
-		} else {
-			copy(cur, best)
-			curCost = bestCost
-		}
-	}
+	seed := BordaFromPrecedence(w)
+	seedCost := w.KemenyCost(seed) + localSearchDelta(w, seed)
+	best, _ := restartSearch(w, nil, seed, seedCost, opts)
 	return best
-}
-
-// perturbDelta applies strength random insertion moves to r and returns
-// their total Kemeny-cost change via the O(|i-j|) MoveDelta fast path.
-func perturbDelta(w *ranking.Precedence, r ranking.Ranking, strength int, rng *rand.Rand) int {
-	n := len(r)
-	if n < 2 {
-		return 0
-	}
-	delta := 0
-	for s := 0; s < strength; s++ {
-		i := rng.Intn(n)
-		j := rng.Intn(n)
-		if i != j {
-			delta += w.MoveDelta(r, i, j)
-			r.MoveTo(i, j)
-		}
-	}
-	return delta
 }
 
 // ConstrainedLocalSearch minimises Kemeny cost over rankings satisfying cons
@@ -149,30 +125,63 @@ func perturbDelta(w *ranking.Precedence, r ranking.Ranking, strength int, rng *r
 // must already satisfy cons (repair it with Make-MR-Fair first); the function
 // panics otherwise, because silently optimising from an infeasible point
 // would return garbage. The result is feasible and no worse than start.
+//
+// This is the single deterministic descent; ConstrainedSearch adds sharded
+// perturbed restarts on top of it.
 func ConstrainedLocalSearch(w *ranking.Precedence, cons []Constraint, start ranking.Ranking) ranking.Ranking {
 	if !Feasible(start, cons) {
 		panic("kemeny: ConstrainedLocalSearch start ranking violates constraints")
 	}
 	r := start.Clone()
-	n := len(r)
-	// Improving insertion positions for the current candidate, collected per
-	// scan; the buffer is reused across candidates and passes.
-	type move struct {
-		pos   int
-		delta int
+	sc := newSearchScratch(len(r))
+	sc.constrainedDescentDelta(w, cons, r)
+	return r
+}
+
+// ConstrainedSearch is the large-n Fair-Kemeny engine: the
+// ConstrainedLocalSearch descent from start, followed by opts.Perturbations
+// independent restarts that each apply feasibility-preserving random
+// insertion moves and descend again, sharded across opts.Workers goroutines
+// (restarts.go). start must satisfy cons (panics otherwise). The result is
+// feasible, no worse than start, and bitwise identical for every worker
+// count.
+func ConstrainedSearch(w *ranking.Precedence, cons []Constraint, start ranking.Ranking, opts Options) ranking.Ranking {
+	if !Feasible(start, cons) {
+		panic("kemeny: ConstrainedSearch start ranking violates constraints")
 	}
-	cands := make([]move, 0, n)
+	opts = opts.withDefaults()
+	seed := start.Clone()
+	seedCost := w.KemenyCost(seed)
+	if len(cons) > 0 {
+		sc := newSearchScratch(len(seed))
+		seedCost += sc.constrainedDescentDelta(w, cons, seed)
+	} else {
+		// No constraints: every move is feasible, so the cheaper
+		// best-improvement descent applies.
+		seedCost += localSearchDelta(w, seed)
+	}
+	best, _ := restartSearch(w, cons, seed, seedCost, opts)
+	return best
+}
+
+// constrainedDescentDelta runs the feasibility-preserving first-improvement
+// insertion descent on r in place and returns the total Kemeny-cost change.
+// The scratch's move buffer is reused across candidates, passes, and
+// restarts.
+func (sc *searchScratch) constrainedDescentDelta(w *ranking.Precedence, cons []Constraint, r ranking.Ranking) int {
+	n := len(r)
+	total := 0
 	for improved := true; improved; {
 		improved = false
 		for i := 0; i < n; i++ {
 			c := r[i]
-			cands = cands[:0]
+			cands := sc.moves[:0]
 			delta := 0
 			for j := i - 1; j >= 0; j-- {
 				y := r[j]
 				delta += w.At(c, y) - w.At(y, c)
 				if delta < 0 {
-					cands = append(cands, move{j, delta})
+					cands = append(cands, clsMove{j, delta})
 				}
 			}
 			delta = 0
@@ -180,9 +189,10 @@ func ConstrainedLocalSearch(w *ranking.Precedence, cons []Constraint, start rank
 				y := r[j]
 				delta += w.At(y, c) - w.At(c, y)
 				if delta < 0 {
-					cands = append(cands, move{j, delta})
+					cands = append(cands, clsMove{j, delta})
 				}
 			}
+			sc.moves = cands[:0]
 			if len(cands) == 0 {
 				continue
 			}
@@ -195,6 +205,7 @@ func ConstrainedLocalSearch(w *ranking.Precedence, cons []Constraint, start rank
 			for _, mv := range cands {
 				r.MoveTo(i, mv.pos)
 				if Feasible(r, cons) {
+					total += mv.delta
 					improved = true
 					break
 				}
@@ -202,5 +213,5 @@ func ConstrainedLocalSearch(w *ranking.Precedence, cons []Constraint, start rank
 			}
 		}
 	}
-	return r
+	return total
 }

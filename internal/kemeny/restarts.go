@@ -1,0 +1,175 @@
+package kemeny
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"manirank/internal/ranking"
+)
+
+// This file implements the sharded restart engine behind Heuristic and
+// ConstrainedSearch: the iterated-local-search restarts are independent given
+// per-restart RNGs, so they run on a bounded worker pool exactly like the
+// experiment cells and the precedence shards (DESIGN.md, Hot paths). Restart
+// i's outcome depends only on (w, cons, seed ranking, Options.Seed, i), and
+// the merge scans restarts in index order, so the returned ranking is bitwise
+// identical for every worker count and schedule.
+
+// restartSeed derives restart i's private RNG seed from the run seed via the
+// shared splitmix64 finaliser (same derivation scheme as the experiment
+// harness's cell seeding). The constrained engine folds in a phase tag so
+// Fair-Kemeny's unconstrained and constrained phases — which share one
+// Options value — draw decorrelated perturbation streams. Each restart owns
+// its randomness: no restart observes another's draws, which is what makes
+// parallel schedules reproducible.
+func restartSeed(seed int64, restart int, constrained bool) int64 {
+	h := uint64(seed) ^ ranking.SplitMix64Init
+	if constrained {
+		h = ranking.SplitMix64(h, 'c')
+	}
+	return int64(ranking.SplitMix64(h, uint64(restart)+1))
+}
+
+// restartWorkers resolves the restart pool width: <= 0 auto-sizes to
+// GOMAXPROCS, and the pool never exceeds the restart count.
+func restartWorkers(requested, restarts int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > restarts {
+		w = restarts
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// searchScratch is one worker's reusable working set: the constrained
+// descent's move list, plus — for restart workers — the current-ranking
+// buffer the restarts mutate and the restart RNG (re-seeded per restart;
+// math/rand's generator state is ~5KB, too big to churn per restart). The
+// descent-only callers (ConstrainedLocalSearch, the restart seed descent)
+// never touch cur/rng, so those are initialised lazily on the first restart.
+// All of it stays cache-resident across every restart the worker runs, so
+// steady-state restarts allocate only when they actually improve on the
+// seed.
+type searchScratch struct {
+	cur   ranking.Ranking
+	moves []clsMove
+	rng   *rand.Rand
+}
+
+// clsMove is one improving insertion candidate of the constrained descent.
+type clsMove struct {
+	pos   int
+	delta int
+}
+
+func newSearchScratch(n int) *searchScratch {
+	return &searchScratch{moves: make([]clsMove, 0, n)}
+}
+
+// runRestart executes restart idx from the shared seed ranking and returns
+// the restart's final cost plus a clone of its ranking when it strictly beats
+// the seed (nil otherwise — the common case allocates nothing). An empty
+// constraint set (nil or zero-length alike) selects the cheaper
+// unconstrained descent.
+func (sc *searchScratch) runRestart(w *ranking.Precedence, cons []Constraint, seed ranking.Ranking, seedCost int, opts Options, idx int) (int, ranking.Ranking) {
+	if sc.cur == nil {
+		sc.cur = make(ranking.Ranking, len(seed))
+		sc.rng = rand.New(rand.NewSource(0))
+	}
+	// Re-seeding the scratch generator draws the identical stream a fresh
+	// rand.New(rand.NewSource(seed)) would.
+	sc.rng.Seed(restartSeed(opts.Seed, idx, len(cons) > 0))
+	copy(sc.cur, seed)
+	cost := seedCost + perturbFeasibleDelta(w, cons, sc.cur, opts.Strength, sc.rng)
+	if len(cons) > 0 {
+		cost += sc.constrainedDescentDelta(w, cons, sc.cur)
+	} else {
+		cost += localSearchDelta(w, sc.cur)
+	}
+	if cost < seedCost {
+		return cost, sc.cur.Clone()
+	}
+	return seedCost, nil
+}
+
+// restartSearch runs opts.Perturbations independent perturbed restarts from
+// seed (already a local optimum with cost seedCost) on a pool of
+// restartWorkers goroutines, and returns the best ranking and cost seen.
+// An empty constraint set selects the unconstrained engine. Ties — including every
+// restart that fails to improve — resolve to the seed first and then to the
+// lowest restart index, independent of schedule.
+func restartSearch(w *ranking.Precedence, cons []Constraint, seed ranking.Ranking, seedCost int, opts Options) (ranking.Ranking, int) {
+	restarts := opts.Perturbations
+	if restarts <= 0 || len(seed) < 2 {
+		return seed, seedCost
+	}
+	costs := make([]int, restarts)
+	improved := make([]ranking.Ranking, restarts)
+	workers := restartWorkers(opts.Workers, restarts)
+	if workers == 1 {
+		sc := newSearchScratch(len(seed))
+		for i := 0; i < restarts; i++ {
+			costs[i], improved[i] = sc.runRestart(w, cons, seed, seedCost, opts, i)
+		}
+	} else {
+		next := int64(-1)
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := newSearchScratch(len(seed))
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= restarts {
+						return
+					}
+					costs[i], improved[i] = sc.runRestart(w, cons, seed, seedCost, opts, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	best, bestCost := seed, seedCost
+	for i := 0; i < restarts; i++ {
+		if improved[i] != nil && costs[i] < bestCost {
+			best, bestCost = improved[i], costs[i]
+		}
+	}
+	return best, bestCost
+}
+
+// perturbFeasibleDelta applies up to strength random insertion moves to r,
+// keeping only those that preserve feasibility (infeasible proposals are
+// undone and consume their draws), and returns the total Kemeny-cost change.
+// With no constraints every move is feasible, so it is the plain perturbation
+// kernel too — same draws, same moves.
+func perturbFeasibleDelta(w *ranking.Precedence, cons []Constraint, r ranking.Ranking, strength int, rng *rand.Rand) int {
+	n := len(r)
+	if n < 2 {
+		return 0
+	}
+	delta := 0
+	for s := 0; s < strength; s++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		d := w.MoveDelta(r, i, j)
+		r.MoveTo(i, j)
+		if !Feasible(r, cons) {
+			r.MoveTo(j, i) // undo
+			continue
+		}
+		delta += d
+	}
+	return delta
+}

@@ -84,13 +84,53 @@ func (m *Model) Theta() float64 { return m.theta }
 // N returns the number of candidates ranked.
 func (m *Model) N() int { return len(m.modal) }
 
-// Sample draws one ranking from the model using rng.
-func (m *Model) Sample(rng *rand.Rand) ranking.Ranking {
+// Sampler is the allocation-free draw interface shared by the exact RIM
+// sampler and the Plackett-Luce sampler: SampleInto fills dst (length N)
+// with one draw from rng. A Sampler owns reusable scratch buffers that stay
+// cache-resident across draws, so steady-state sampling performs zero heap
+// allocations; it is NOT safe for concurrent use — create one per goroutine
+// (the shared Model/PlackettLuce underneath is read-only and may be shared).
+type Sampler interface {
+	// N returns the number of candidates each draw ranks.
+	N() int
+	// SampleInto fills dst with one draw. len(dst) must equal N (panics
+	// otherwise).
+	SampleInto(dst ranking.Ranking, rng *rand.Rand)
+}
+
+var (
+	_ Sampler = (*RIMSampler)(nil)
+	_ Sampler = (*PlackettLuceSampler)(nil)
+)
+
+// RIMSampler draws from a Model through the exact Repeated Insertion Model
+// with a reusable insertion buffer (see Sampler for the contract).
+type RIMSampler struct {
+	m    *Model
+	perm []int
+}
+
+// Sampler returns a new allocation-free sampler over m. The model's tables
+// are shared read-only; the sampler's scratch is private.
+func (m *Model) Sampler() *RIMSampler {
+	return &RIMSampler{m: m, perm: make([]int, 0, len(m.modal))}
+}
+
+// N returns the number of candidates each draw ranks.
+func (s *RIMSampler) N() int { return len(s.m.modal) }
+
+// SampleInto fills dst with one Mallows draw using rng. Zero heap
+// allocations in steady state.
+func (s *RIMSampler) SampleInto(dst ranking.Ranking, rng *rand.Rand) {
+	m := s.m
 	n := len(m.modal)
+	if len(dst) != n {
+		panic(fmt.Sprintf("mallows: SampleInto dst has %d slots, model ranks %d candidates", len(dst), n))
+	}
 	// RIM over reference positions: build a permutation of 0..n-1 whose
 	// Kendall distance to the identity follows Mallows, then map positions
 	// through the modal ranking.
-	perm := make([]int, 0, n)
+	perm := s.perm[:0]
 	for i := 0; i < n; i++ {
 		// Displacement j means item i lands j slots above the bottom of the
 		// current prefix, adding j inversions.
@@ -100,10 +140,18 @@ func (m *Model) Sample(rng *rand.Rand) ranking.Ranking {
 		copy(perm[at+1:], perm[at:])
 		perm[at] = i
 	}
-	out := make(ranking.Ranking, n)
+	s.perm = perm
 	for i, p := range perm {
-		out[i] = m.modal[p]
+		dst[i] = m.modal[p]
 	}
+}
+
+// Sample draws one ranking from the model using rng: a thin wrapper over a
+// one-shot Sampler. Profile-scale callers should hold a Sampler and use
+// SampleInto to avoid the per-draw scratch allocation.
+func (m *Model) Sample(rng *rand.Rand) ranking.Ranking {
+	out := make(ranking.Ranking, len(m.modal))
+	m.Sampler().SampleInto(out, rng)
 	return out
 }
 
@@ -119,11 +167,14 @@ func sampleCDF(cdf []float64, rng *rand.Rand) int {
 	return len(cdf) - 1
 }
 
-// SampleProfile draws m base rankings from the model.
+// SampleProfile draws m base rankings from the model, reusing one sampler's
+// scratch across all draws — only the output rankings are allocated.
 func (m *Model) SampleProfile(count int, rng *rand.Rand) ranking.Profile {
+	s := m.Sampler()
 	p := make(ranking.Profile, count)
 	for i := range p {
-		p[i] = m.Sample(rng)
+		p[i] = make(ranking.Ranking, len(m.modal))
+		s.SampleInto(p[i], rng)
 	}
 	return p
 }

@@ -44,28 +44,86 @@ func MustNewPlackettLuce(modal ranking.Ranking, theta float64) *PlackettLuce {
 	return pl
 }
 
-// Sample draws one ranking in O(n log n).
-func (pl *PlackettLuce) Sample(rng *rand.Rand) ranking.Ranking {
+// PlackettLuceSampler draws from a PlackettLuce model with a reusable
+// utility array and in-place sort scratch (see Sampler for the contract).
+type PlackettLuceSampler struct {
+	pl     *PlackettLuce
+	util   []float64
+	sorter plSorter
+}
+
+// plSorter sorts the draw's candidate ids by descending utility with the
+// candidate id as a deterministic tiebreak — the unique order the previous
+// stable closure sort produced, without its closure allocation. It is a
+// pointer receiver stored inside the sampler so handing it to sort.Stable
+// converts a pointer to an interface without heap allocation. Stable sort is
+// deliberate for speed, not just determinism: utilities trend with modal
+// position, so draws arrive nearly sorted and the insertion+merge passes run
+// close to linear (~2x faster than pdqsort here at n = 10^5).
+type plSorter struct {
+	ids  ranking.Ranking
+	util []float64
+}
+
+func (s *plSorter) Len() int { return len(s.ids) }
+func (s *plSorter) Less(i, j int) bool {
+	ui, uj := s.util[s.ids[i]], s.util[s.ids[j]]
+	if ui != uj {
+		return ui > uj
+	}
+	return s.ids[i] < s.ids[j]
+}
+func (s *plSorter) Swap(i, j int) { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] }
+
+// Sampler returns a new allocation-free sampler over pl. The model is shared
+// read-only; the sampler's scratch is private.
+func (pl *PlackettLuce) Sampler() *PlackettLuceSampler {
+	return &PlackettLuceSampler{pl: pl, util: make([]float64, len(pl.modal))}
+}
+
+// N returns the number of candidates each draw ranks.
+func (s *PlackettLuceSampler) N() int { return len(s.pl.modal) }
+
+// SampleInto fills dst with one Plackett-Luce draw in O(n log n). Zero heap
+// allocations in steady state.
+func (s *PlackettLuceSampler) SampleInto(dst ranking.Ranking, rng *rand.Rand) {
+	pl := s.pl
 	n := len(pl.modal)
-	util := make([]float64, n)
+	if len(dst) != n {
+		panic(fmt.Sprintf("mallows: SampleInto dst has %d slots, model ranks %d candidates", len(dst), n))
+	}
 	for pos, c := range pl.modal {
 		// Gumbel(0,1) noise: -log(-log(U)).
 		u := rng.Float64()
 		for u == 0 {
 			u = rng.Float64()
 		}
-		util[c] = -pl.theta*float64(pos) - math.Log(-math.Log(u))
+		s.util[c] = -pl.theta*float64(pos) - math.Log(-math.Log(u))
 	}
-	r := ranking.New(n)
-	sort.SliceStable(r, func(i, j int) bool { return util[r[i]] > util[r[j]] })
-	return r
+	for i := range dst {
+		dst[i] = i
+	}
+	s.sorter.ids, s.sorter.util = dst, s.util
+	sort.Stable(&s.sorter)
+	s.sorter.ids = nil // drop the caller's buffer; keep util scratch
 }
 
-// SampleProfile draws count rankings.
+// Sample draws one ranking in O(n log n): a thin wrapper over a one-shot
+// Sampler. Profile-scale callers should hold a Sampler and use SampleInto.
+func (pl *PlackettLuce) Sample(rng *rand.Rand) ranking.Ranking {
+	out := make(ranking.Ranking, len(pl.modal))
+	pl.Sampler().SampleInto(out, rng)
+	return out
+}
+
+// SampleProfile draws count rankings, reusing one sampler's scratch across
+// all draws — only the output rankings are allocated.
 func (pl *PlackettLuce) SampleProfile(count int, rng *rand.Rand) ranking.Profile {
+	s := pl.Sampler()
 	p := make(ranking.Profile, count)
 	for i := range p {
-		p[i] = pl.Sample(rng)
+		p[i] = make(ranking.Ranking, len(pl.modal))
+		s.SampleInto(p[i], rng)
 	}
 	return p
 }

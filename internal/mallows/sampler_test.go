@@ -1,0 +1,194 @@
+package mallows
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"manirank/internal/ranking"
+)
+
+// mahonian returns the number of permutations of n elements with exactly
+// 0..n(n-1)/2 inversions (the Mahonian triangle row n), computed by the
+// standard DP: T(n, k) = sum_{j=0..n-1} T(n-1, k-j).
+func mahonian(n int) []int64 {
+	counts := []int64{1}
+	for i := 2; i <= n; i++ {
+		next := make([]int64, len(counts)+i-1)
+		for k := range next {
+			for j := 0; j < i && j <= k; j++ {
+				if k-j < len(counts) {
+					next[k] += counts[k-j]
+				}
+			}
+		}
+		counts = next
+	}
+	return counts
+}
+
+// kendallPMF returns the exact Mallows distribution of the Kendall distance:
+// P(d) = M_n(d) * phi^d / Z.
+func kendallPMF(n int, theta float64) []float64 {
+	m := mahonian(n)
+	phi := math.Exp(-theta)
+	pmf := make([]float64, len(m))
+	z := 0.0
+	w := 1.0
+	for d := range m {
+		pmf[d] = float64(m[d]) * w
+		z += pmf[d]
+		w *= phi
+	}
+	for d := range pmf {
+		pmf[d] /= z
+	}
+	return pmf
+}
+
+// chi2Quantile999 maps degrees of freedom to the 99.9th percentile of the
+// chi-square distribution, the rejection threshold of the sampler tests
+// (seeds are fixed, so a pass is deterministic; the quantile documents how
+// surprising a failure would be under the exact distribution).
+var chi2Quantile999 = map[int]float64{
+	2:  13.82,
+	3:  16.27,
+	5:  20.52,
+	6:  22.46,
+	10: 29.59,
+}
+
+// TestRIMSamplerMatchesExactKendallDistribution draws from the
+// zero-allocation sampler and chi-square-tests the empirical Kendall
+// distance distribution against the closed-form Mallows probabilities.
+func TestRIMSamplerMatchesExactKendallDistribution(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		theta float64
+	}{
+		{3, 0.3},
+		{4, 0.5},
+		{4, 1.0},
+		{5, 0.7},
+	} {
+		rng := rand.New(rand.NewSource(77))
+		modal := ranking.Random(tc.n, rng)
+		s := MustNew(modal, tc.theta).Sampler()
+		pmf := kendallPMF(tc.n, tc.theta)
+		const draws = 20000
+		obs := make([]int, len(pmf))
+		dst := make(ranking.Ranking, tc.n)
+		for i := 0; i < draws; i++ {
+			s.SampleInto(dst, rng)
+			obs[ranking.KendallTau(dst, modal)]++
+		}
+		chi2 := 0.0
+		for d, p := range pmf {
+			exp := float64(draws) * p
+			chi2 += (float64(obs[d]) - exp) * (float64(obs[d]) - exp) / exp
+		}
+		df := len(pmf) - 1
+		limit, ok := chi2Quantile999[df]
+		if !ok {
+			t.Fatalf("no chi-square quantile tabled for df=%d", df)
+		}
+		if chi2 > limit {
+			t.Errorf("n=%d theta=%v: chi2=%.2f exceeds the 99.9%% quantile %.2f (df=%d); obs=%v",
+				tc.n, tc.theta, chi2, limit, df, obs)
+		}
+	}
+}
+
+// TestPlackettLuceSamplerPreservesLocationSpreadOrdering checks the
+// zero-allocation PL sampler keeps the family's defining property: mean
+// Kendall distance to the modal ranking strictly decreases as theta grows.
+func TestPlackettLuceSamplerPreservesLocationSpreadOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	modal := ranking.Random(40, rng)
+	dst := make(ranking.Ranking, 40)
+	prev := math.Inf(1)
+	for _, theta := range []float64{0.05, 0.2, 0.6, 1.2, 3} {
+		s := MustNewPlackettLuce(modal, theta).Sampler()
+		sum := 0
+		const draws = 400
+		for i := 0; i < draws; i++ {
+			s.SampleInto(dst, rng)
+			sum += ranking.KendallTau(dst, modal)
+		}
+		mean := float64(sum) / draws
+		if mean >= prev {
+			t.Fatalf("theta=%v: mean distance %.1f did not decrease from %.1f", theta, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+// TestSampleIntoMatchesSample pins the wrapper contract: Sample and
+// SampleInto consume the identical RNG stream and emit identical rankings.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	modal := ranking.Random(25, rand.New(rand.NewSource(79)))
+	m := MustNew(modal, 0.5)
+	a, b := rand.New(rand.NewSource(80)), rand.New(rand.NewSource(80))
+	s := m.Sampler()
+	dst := make(ranking.Ranking, 25)
+	for i := 0; i < 20; i++ {
+		want := m.Sample(a)
+		s.SampleInto(dst, b)
+		if !dst.Equal(want) {
+			t.Fatalf("draw %d: SampleInto %v != Sample %v", i, dst, want)
+		}
+	}
+	pl := MustNewPlackettLuce(modal, 0.5)
+	ps := pl.Sampler()
+	a, b = rand.New(rand.NewSource(81)), rand.New(rand.NewSource(81))
+	for i := 0; i < 20; i++ {
+		want := pl.Sample(a)
+		ps.SampleInto(dst, b)
+		if !dst.Equal(want) {
+			t.Fatalf("PL draw %d: SampleInto %v != Sample %v", i, dst, want)
+		}
+	}
+}
+
+// TestSamplersZeroAllocsSteadyState is the allocation regression guard the
+// ROADMAP's "Mallows sampling allocation churn" item asks for: after the
+// first draw warms the scratch, SampleInto performs zero heap allocations.
+func TestSamplersZeroAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	m := MustNew(ranking.Random(90, rng), 0.6)
+	s := m.Sampler()
+	dst := make(ranking.Ranking, 90)
+	s.SampleInto(dst, rng)
+	if avg := testing.AllocsPerRun(200, func() { s.SampleInto(dst, rng) }); avg != 0 {
+		t.Errorf("RIM SampleInto: %.2f allocs/op in steady state, want 0", avg)
+	}
+	pl := MustNewPlackettLuce(ranking.Random(1000, rng), 0.6)
+	ps := pl.Sampler()
+	pdst := make(ranking.Ranking, 1000)
+	ps.SampleInto(pdst, rng)
+	if avg := testing.AllocsPerRun(50, func() { ps.SampleInto(pdst, rng) }); avg != 0 {
+		t.Errorf("Plackett-Luce SampleInto: %.2f allocs/op in steady state, want 0", avg)
+	}
+}
+
+func TestSampleIntoPanicsOnLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	m := MustNew(ranking.New(5), 0.5)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RIM SampleInto accepted a short dst")
+			}
+		}()
+		m.Sampler().SampleInto(make(ranking.Ranking, 4), rng)
+	}()
+	pl := MustNewPlackettLuce(ranking.New(5), 0.5)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PL SampleInto accepted a short dst")
+			}
+		}()
+		pl.Sampler().SampleInto(make(ranking.Ranking, 6), rng)
+	}()
+}

@@ -1,0 +1,19 @@
+package ranking
+
+// SplitMix64 applies one splitmix64 finalisation round, folding v into the
+// running hash h. It is the shared seed-derivation primitive behind every
+// deterministic-parallel layer of this repo — experiment cells and solver
+// restarts both derive private RNG seeds by chaining it over their
+// coordinates — so the schemes cannot drift apart.
+func SplitMix64(h, v uint64) uint64 {
+	h ^= v
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// SplitMix64Init is the golden-ratio offset seeds are XORed with before the
+// first mixing round.
+const SplitMix64Init = 0x9e3779b97f4a7c15

@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 N="${1:-1}"
 OUT="BENCH_${N}.json"
 
-BENCHES='BenchmarkPrecedenceMatrix100x150|BenchmarkMakeMRFair90|BenchmarkMallowsSample90|BenchmarkPlackettLuce100k|BenchmarkAblationILSBordaInit'
+BENCHES='BenchmarkPrecedenceMatrix100x150|BenchmarkMakeMRFair90|BenchmarkMallowsSample90|BenchmarkPlackettLuce100k|BenchmarkAblationILSBordaInit|BenchmarkHeuristicRestartsW1|BenchmarkHeuristicRestartsW4'
 
 RAW="$(go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-1s}" .)"
 echo "$RAW"
