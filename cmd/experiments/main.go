@@ -25,12 +25,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (runs are reproducible per seed)")
 	quick := flag.Bool("quick", false, "shrink the heaviest workloads for a fast smoke run")
 	workers := flag.Int("workers", 0, "worker pool size for independent experiment cells (0 = all CPUs, 1 = sequential; results are identical either way, but per-cell runtimes contend — time with 1; in-cell solver restarts stay sequential to keep timed columns honest)")
+	serveBench := flag.Bool("serve-bench", false, "benchmark the manirankd serving stack instead of an experiment: replay a Zipf-skewed Mallows workload against an in-process server and print a JSON report (BENCH_<n>.json serving section)")
+	serveRequests := flag.Int("serve-requests", 600, "serve-bench: total requests per skew setting")
+	serveClients := flag.Int("serve-clients", 8, "serve-bench: concurrent closed-loop clients")
+	serveProfiles := flag.Int("serve-profiles", 50, "serve-bench: distinct request bodies (working-set size)")
+	serveCache := flag.Int("serve-cache", 32, "serve-bench: server result-cache capacity (entries); below serve-profiles so eviction is exercised")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-quick] [-workers N] <%s|all>\n",
+		fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-quick] [-workers N] <%s|all>\n       experiments -serve-bench [-serve-requests N] [-serve-clients N] [-serve-profiles N] [-serve-cache N]\n",
 			strings.Join(experiments.ExperimentIDs(), "|"))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *serveBench {
+		if err := runServeBench(*seed, *serveRequests, *serveClients, *serveProfiles, *serveCache); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

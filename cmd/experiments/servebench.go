@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+
+	"manirank/internal/service"
+	"manirank/internal/service/loadgen"
+)
+
+// serveBenchReport is the BENCH_<n>.json "serving" section: one loadgen run
+// per Zipf skew against an in-process manirankd.
+type serveBenchReport struct {
+	Method     string           `json:"method"`
+	Candidates int              `json:"candidates"`
+	Rankers    int              `json:"rankers"`
+	Profiles   int              `json:"distinct_profiles"`
+	Clients    int              `json:"clients"`
+	CacheSize  int              `json:"cache_size"`
+	Workers    int              `json:"workers"`
+	Runs       []loadgen.Result `json:"runs"`
+}
+
+// runServeBench boots the serving stack on a loopback listener and replays
+// the synthetic Mallows workload at several popularity skews: uniform
+// (every distinct profile equally likely — the cache's worst case at this
+// working-set size) through increasingly peaked Zipf popularity, where a
+// small hot set dominates and the hit rate should climb toward 1.
+func runServeBench(seed int64, requests, clients, profiles, cacheSize int) error {
+	report := serveBenchReport{
+		Method:     "fair-kemeny",
+		Candidates: 60,
+		Rankers:    40,
+		Profiles:   profiles,
+		Clients:    clients,
+		CacheSize:  cacheSize,
+		Workers:    runtime.GOMAXPROCS(0),
+	}
+	for _, s := range []float64{0, 1.2, 2.0} {
+		res, err := serveBenchRun(report, seed, requests, s)
+		if err != nil {
+			return err
+		}
+		// 429s are legitimate backpressure under load; request errors mean
+		// the serving stack is broken — fail the run (CI's smoke relies on
+		// this exit code).
+		if res.Errors > 0 {
+			return fmt.Errorf("serve-bench zipf_s=%.1f: %d request errors", s, res.Errors)
+		}
+		report.Runs = append(report.Runs, res)
+		fmt.Fprintf(os.Stderr, "serve-bench zipf_s=%.1f: %.1f req/s, hit rate %.2f, p50 %.1fms, p99 %.1fms (%d errors, %d rejected)\n",
+			s, res.Throughput, res.HitRate, res.P50LatencyMS, res.P99LatencyMS, res.Errors, res.Rejected)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// serveBenchRun measures one skew setting against a FRESH server — each run
+// gets its own cold cache, so the per-skew hit rates are comparable rather
+// than inflated by entries the previous skew warmed.
+func serveBenchRun(report serveBenchReport, seed int64, requests int, zipfS float64) (loadgen.Result, error) {
+	srv := service.New(service.Config{
+		CacheSize: report.CacheSize,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return loadgen.Result{}, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	return loadgen.Run(loadgen.Config{
+		URL:      "http://" + ln.Addr().String(),
+		Clients:  report.Clients,
+		Requests: requests,
+		Profiles: report.Profiles,
+		ZipfS:    zipfS,
+		Method:   report.Method,
+		Seed:     seed,
+	})
+}

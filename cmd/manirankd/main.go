@@ -1,0 +1,89 @@
+// Command manirankd serves MANI-Rank fair rank aggregation over HTTP: the
+// full solver family behind POST /v1/aggregate, with a digest-keyed LRU
+// result cache, single-flight request coalescing, a bounded admission queue
+// with 429 backpressure, per-request deadlines (best-so-far on expiry), and
+// /healthz + /statz observability endpoints.
+//
+// Quickstart:
+//
+//	go run ./cmd/manirankd -addr :8080 &
+//	curl -s localhost:8080/v1/aggregate -d '{
+//	  "method": "fair-borda",
+//	  "profile": [[0,1,2,3],[1,0,3,2],[0,2,1,3]],
+//	  "attributes": [{"name":"Gender","values":["M","W"],"of":[0,1,0,1]}],
+//	  "delta": 0.4
+//	}'
+//
+// See DESIGN.md §6 for the serving architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"manirank/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 64, "admission queue depth; a full queue answers 429")
+	workers := flag.Int("workers", 0, "solver pool width (0 = all CPUs)")
+	solverWorkers := flag.Int("solver-workers", 1, "restart shards per individual solve (kemeny.Options.Workers); keep 1 under concurrent load")
+	cacheSize := flag.Int("cache-size", 1024, "result cache capacity in entries (negative disables)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache TTL (0 = never expire)")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request compute deadline")
+	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper bound on client-requested deadlines")
+	logLevel := flag.String("log-level", "info", "debug|info|warn|error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "manirankd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv := service.New(service.Config{
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		SolverWorkers:   *solverWorkers,
+		CacheSize:       *cacheSize,
+		CacheTTL:        *cacheTTL,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		Logger:          logger,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		logger.Info("shutting down")
+		// Stop accepting and wait for in-flight handlers first (they hold
+		// coalesced flights open), then drain the solver pool.
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Warn("shutdown", "error", err)
+		}
+		srv.Close()
+	}()
+
+	logger.Info("manirankd listening", "addr", *addr, "queue", *queue, "cache_size", *cacheSize)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "manirankd:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -7,6 +7,7 @@
 package aggregate
 
 import (
+	"context"
 	"errors"
 
 	"manirank/internal/attribute"
@@ -56,10 +57,17 @@ func Copeland(w *ranking.Precedence) ranking.Ranking {
 
 // Schulze returns the Schulze consensus: strongest-path pairwise comparison
 // computed with the Floyd-Warshall widest-path recurrence, candidates ordered
-// by their number of strongest-path wins (paper Section III-B). O(n^3).
+// by their number of strongest-path wins (paper Section III-B). O(n^3) worst
+// case, with a row-wise early exit (see schulzeStrongestPaths) that skips
+// every relaxation min(p[a][k], p[k][b]) <= p[a][b] can already rule out.
 func Schulze(w *ranking.Precedence) ranking.Ranking {
+	return schulzeRankFromPaths(schulzeStrongestPaths(w))
+}
+
+// schulzeInitPaths builds the seed path matrix: p[a][b] is the number of
+// rankings preferring a over b when that is a strict majority, else 0.
+func schulzeInitPaths(w *ranking.Precedence) [][]int {
 	n := w.N()
-	// d[a][b] = number of rankings preferring a over b.
 	p := make([][]int, n)
 	for a := 0; a < n; a++ {
 		p[a] = make([]int, n)
@@ -74,6 +82,69 @@ func Schulze(w *ranking.Precedence) ranking.Ranking {
 			}
 		}
 	}
+	return p
+}
+
+// schulzeStrongestPaths runs the widest-path relaxation with two early
+// exits derived from min(p[a][k], p[k][b]) <= p[a][b] never relaxing:
+//
+//   - Row-wise contested columns: for pivot k only columns b with p[k][b] > 0
+//     can strengthen any path through k (otherwise the min is 0), so the
+//     inner loop walks a per-pivot index of those columns — roughly half the
+//     columns on majority-style matrices, and when the index is empty the
+//     whole pivot is skipped.
+//   - Source skip: a row a with p[a][k] == 0 cannot route through k at all.
+//
+// The relaxations that do run execute in the same (k, a, b) order with the
+// same values as the dense recurrence, so the resulting matrix — and every
+// golden table built on it — is bitwise identical to schulzeDensePaths.
+func schulzeStrongestPaths(w *ranking.Precedence) [][]int {
+	n := w.N()
+	p := schulzeInitPaths(w)
+	cols := make([]int32, 0, n)
+	for k := 0; k < n; k++ {
+		pk := p[k]
+		cols = cols[:0]
+		for b := 0; b < n; b++ {
+			if b != k && pk[b] > 0 {
+				cols = append(cols, int32(b))
+			}
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		for a := 0; a < n; a++ {
+			if a == k {
+				continue
+			}
+			pa := p[a]
+			ak := pa[k]
+			if ak == 0 {
+				continue
+			}
+			for _, b32 := range cols {
+				b := int(b32)
+				if b == a {
+					continue
+				}
+				s := ak
+				if pk[b] < s {
+					s = pk[b]
+				}
+				if s > pa[b] {
+					pa[b] = s
+				}
+			}
+		}
+	}
+	return p
+}
+
+// schulzeDensePaths is the unpruned widest-path recurrence, kept as the
+// reference the early-exit version is tested and benchmarked against.
+func schulzeDensePaths(w *ranking.Precedence) [][]int {
+	n := w.N()
+	p := schulzeInitPaths(w)
 	for k := 0; k < n; k++ {
 		pk := p[k]
 		for a := 0; a < n; a++ {
@@ -99,6 +170,12 @@ func Schulze(w *ranking.Precedence) ranking.Ranking {
 			}
 		}
 	}
+	return p
+}
+
+// schulzeRankFromPaths orders candidates by their strongest-path win counts.
+func schulzeRankFromPaths(p [][]int) ranking.Ranking {
+	n := len(p)
 	wins := make([]int, n)
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
@@ -147,15 +224,23 @@ func (o KemenyOptions) WithDefaults() KemenyOptions {
 // the profile summarised by w: exactly (branch-and-bound) for small n,
 // heuristically (Borda-seeded iterated local search) for large n.
 func Kemeny(w *ranking.Precedence, opts KemenyOptions) ranking.Ranking {
+	return KemenyCtx(context.Background(), w, opts)
+}
+
+// KemenyCtx is Kemeny with cooperative cancellation (the serving layer's
+// per-request deadline): when ctx is done both engines stop early and return
+// the best ranking found so far — never nil. A never-cancelled ctx produces
+// output identical to Kemeny.
+func KemenyCtx(ctx context.Context, w *ranking.Precedence, opts KemenyOptions) ranking.Ranking {
 	opts = opts.WithDefaults()
 	if w.N() <= opts.ExactThreshold {
 		seed := kemeny.LocalSearch(w, kemeny.BordaFromPrecedence(w))
-		res := kemeny.BranchAndBound(w, nil, seed, opts.MaxNodes)
+		res := kemeny.BranchAndBoundCtx(ctx, w, nil, seed, opts.MaxNodes)
 		if res.Ranking != nil {
 			return res.Ranking
 		}
 	}
-	return kemeny.Heuristic(w, opts.Heuristic)
+	return kemeny.HeuristicCtx(ctx, w, opts.Heuristic)
 }
 
 // PickAPerm returns the base ranking closest to the whole profile (minimum

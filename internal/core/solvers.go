@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"manirank/internal/aggregate"
@@ -73,20 +74,30 @@ func FairKemeny(p ranking.Profile, targets []Target, opts Options) (ranking.Rank
 
 // FairKemenyW is FairKemeny on a precomputed precedence matrix.
 func FairKemenyW(w *ranking.Precedence, targets []Target, opts Options) (ranking.Ranking, error) {
+	return FairKemenyWCtx(context.Background(), w, targets, opts)
+}
+
+// FairKemenyWCtx is FairKemenyW with cooperative cancellation threaded
+// through every search stage (unconstrained Kemeny, constrained
+// branch-and-bound, constrained local search). When ctx is done mid-solve the
+// stages return their best-so-far rankings, so the result is still a feasible
+// fair consensus — just potentially further from optimal. The Make-MR-Fair
+// repair itself is polynomial and always runs to completion.
+func FairKemenyWCtx(ctx context.Context, w *ranking.Precedence, targets []Target, opts Options) (ranking.Ranking, error) {
 	kopts := opts.Kemeny.WithDefaults()
-	unfair := aggregate.Kemeny(w, kopts)
+	unfair := aggregate.KemenyCtx(ctx, w, kopts)
 	incumbent, err := MakeMRFair(unfair, targets)
 	if err != nil {
 		return nil, fmt.Errorf("core: FairKemeny could not build a feasible incumbent: %w", err)
 	}
 	cons := constraints(targets)
 	if w.N() <= kopts.ExactThreshold {
-		res := kemeny.BranchAndBound(w, cons, incumbent, kopts.MaxNodes)
+		res := kemeny.BranchAndBoundCtx(ctx, w, cons, incumbent, kopts.MaxNodes)
 		if res.Ranking != nil {
 			return res.Ranking, nil
 		}
 	}
-	return kemeny.ConstrainedSearch(w, cons, incumbent, kopts.Heuristic), nil
+	return kemeny.ConstrainedSearchCtx(ctx, w, cons, incumbent, kopts.Heuristic), nil
 }
 
 // PickFairest returns the base ranking minimising the maximum violation of

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"manirank/internal/attribute"
+	"manirank/internal/fairness"
+	"manirank/internal/unfairgen"
+)
+
+// paperTableI transcribes the paper's reported Table I values — the target
+// modal-ranking parity of the three calibrated Mallows datasets over the
+// 90-candidate Gender(3) x Race(5) database. These are the numbers the
+// evaluation is anchored on; the golden files pin our regenerated tables
+// byte-for-byte, while this test pins them against the paper itself with a
+// tolerance, because the block-construction generator can only approximate
+// a target parity on a finite candidate set (e.g. Low-Fair ARP_Race lands
+// at 0.61 against the reported 0.70).
+var paperTableI = []struct {
+	dataset   string
+	arpGender float64
+	arpRace   float64
+	irp       float64
+}{
+	{"Low-Fair", 0.70, 0.70, 1.00},
+	{"Medium-Fair", 0.50, 0.50, 0.75},
+	{"High-Fair", 0.30, 0.30, 0.54},
+}
+
+// paperTolerance bounds |generated - paper-reported| per Table I cell.
+const paperTolerance = 0.10
+
+// TestPaperReportedTableIValues is the ROADMAP's numeric
+// paper-value-comparison item for Table I. When an intentional generator or
+// sampler change is expected to move the regenerated values (a "golden
+// drift"), skip it via MANIRANK_EXPECT_DRIFT=1 while the goldens are being
+// re-recorded, then re-enable.
+func TestPaperReportedTableIValues(t *testing.T) {
+	if os.Getenv("MANIRANK_EXPECT_DRIFT") != "" {
+		t.Skip("MANIRANK_EXPECT_DRIFT set: regeneration drift expected, paper-value comparison suspended")
+	}
+	for _, want := range paperTableI {
+		tab, modal, err := tableIModal(want.dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := fairness.Audit(modal, tab)
+		got := map[string]float64{
+			"ARP_Gender": rep.ARPs[indexOfAttr(t, tab.Attrs(), "Gender")],
+			"ARP_Race":   rep.ARPs[indexOfAttr(t, tab.Attrs(), "Race")],
+			"IRP":        rep.IRP,
+		}
+		wantCells := map[string]float64{
+			"ARP_Gender": want.arpGender,
+			"ARP_Race":   want.arpRace,
+			"IRP":        want.irp,
+		}
+		for cell, wv := range wantCells {
+			if gv := got[cell]; math.Abs(gv-wv) > paperTolerance {
+				t.Errorf("%s %s = %.3f, paper reports %.2f (tolerance %.2f)",
+					want.dataset, cell, gv, wv, paperTolerance)
+			}
+		}
+	}
+	// The transcription must also agree with the generator's calibration
+	// specs — if TableIDatasets moves, this table (and the paper anchor)
+	// must be revisited deliberately.
+	for i, spec := range unfairgen.TableIDatasets() {
+		if spec.Name != paperTableI[i].dataset {
+			t.Fatalf("dataset %d is %q, transcription says %q", i, spec.Name, paperTableI[i].dataset)
+		}
+	}
+}
+
+func indexOfAttr(t *testing.T, attrs []*attribute.Attribute, name string) int {
+	t.Helper()
+	for i, a := range attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("table has no attribute %q", name)
+	return -1
+}

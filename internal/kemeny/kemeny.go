@@ -16,6 +16,7 @@
 package kemeny
 
 import (
+	"context"
 	"fmt"
 
 	"manirank/internal/attribute"
@@ -127,7 +128,13 @@ type bbState struct {
 	nodes    int64
 	maxNodes int64
 	aborted  bool
+	ctx      context.Context // nil: never cancelled; polled every ctxPollMask+1 nodes
 }
+
+// ctxPollMask throttles context polls in the branch-and-bound hot loop: the
+// deadline is checked once per 4096 expanded nodes, cheap against the O(n)
+// work each node performs.
+const ctxPollMask = 1<<12 - 1
 
 // consState tracks one fairness constraint incrementally during search.
 type consState struct {
@@ -147,8 +154,18 @@ type consState struct {
 // exceeded, the best ranking found so far is returned with Optimal=false.
 // Pass maxNodes <= 0 for an unbounded (always optimal) search.
 func BranchAndBound(w *ranking.Precedence, cons []Constraint, incumbent ranking.Ranking, maxNodes int64) Result {
+	return BranchAndBoundCtx(nil, w, cons, incumbent, maxNodes)
+}
+
+// BranchAndBoundCtx is BranchAndBound with cooperative cancellation: when ctx
+// is done the search aborts (polled every few thousand nodes) and returns the
+// best ranking found so far with Optimal=false — exactly the node-budget
+// exhaustion behaviour. A nil or never-cancelled ctx searches identically to
+// BranchAndBound.
+func BranchAndBoundCtx(ctx context.Context, w *ranking.Precedence, cons []Constraint, incumbent ranking.Ranking, maxNodes int64) Result {
 	n := w.N()
 	st := &bbState{
+		ctx:         ctx,
 		n:           n,
 		w:           w,
 		prefix:      make([]int, 0, n),
@@ -203,6 +220,10 @@ func (st *bbState) dfs() {
 		return
 	}
 	if st.maxNodes > 0 && st.nodes >= st.maxNodes {
+		st.aborted = true
+		return
+	}
+	if st.ctx != nil && st.nodes&ctxPollMask == 0 && st.ctx.Err() != nil {
 		st.aborted = true
 		return
 	}

@@ -1,6 +1,8 @@
 package kemeny
 
 import (
+	"context"
+
 	"manirank/internal/ranking"
 )
 
@@ -23,18 +25,20 @@ func BordaFromPrecedence(w *ranking.Precedence) ranking.Ranking {
 // O(n^2); the insertion neighbourhood is the standard Kemeny local search
 // (Ali & Meila 2012).
 func LocalSearch(w *ranking.Precedence, r ranking.Ranking) ranking.Ranking {
-	localSearchDelta(w, r)
+	localSearchDelta(context.Background(), w, r)
 	return r
 }
 
 // localSearchDelta runs the insertion local search on r in place and returns
 // the total Kemeny-cost change — every move's gain is already known from the
 // incremental scan, so callers tracking an exact cost never pay for an
-// O(n^2) KemenyCost recomputation.
-func localSearchDelta(w *ranking.Precedence, r ranking.Ranking) int {
+// O(n^2) KemenyCost recomputation. Cancellation is checked between passes
+// (each pass is O(n^2)); an early exit leaves r a valid permutation and the
+// returned delta exact for the moves applied.
+func localSearchDelta(ctx context.Context, w *ranking.Precedence, r ranking.Ranking) int {
 	n := len(r)
 	total := 0
-	for improved := true; improved; {
+	for improved := true; improved && ctx.Err() == nil; {
 		improved = false
 		for i := 0; i < n; i++ {
 			c := r[i]
@@ -113,10 +117,21 @@ func (o Options) withDefaults() Options {
 // (Options.Seed, restart index) and run on an Options.Workers pool
 // (restarts.go); the result is bitwise identical for every worker count.
 func Heuristic(w *ranking.Precedence, opts Options) ranking.Ranking {
+	return HeuristicCtx(context.Background(), w, opts)
+}
+
+// HeuristicCtx is Heuristic with cooperative cancellation: when ctx is done
+// the search stops at the next pass/restart boundary and returns the best
+// ranking found so far — at minimum the Borda seed, always a valid
+// permutation, never nil. A never-cancelled ctx yields output bitwise
+// identical to Heuristic for every worker count; a cancelled run's result
+// depends on how far the restarts got, so it is best-effort, not
+// deterministic.
+func HeuristicCtx(ctx context.Context, w *ranking.Precedence, opts Options) ranking.Ranking {
 	opts = opts.withDefaults()
 	seed := BordaFromPrecedence(w)
-	seedCost := w.KemenyCost(seed) + localSearchDelta(w, seed)
-	best, _ := restartSearch(w, nil, seed, seedCost, opts)
+	seedCost := w.KemenyCost(seed) + localSearchDelta(ctx, w, seed)
+	best, _ := restartSearch(ctx, w, nil, seed, seedCost, opts)
 	return best
 }
 
@@ -134,7 +149,7 @@ func ConstrainedLocalSearch(w *ranking.Precedence, cons []Constraint, start rank
 	}
 	r := start.Clone()
 	sc := newSearchScratch(len(r))
-	sc.constrainedDescentDelta(w, cons, r)
+	sc.constrainedDescentDelta(context.Background(), w, cons, r)
 	return r
 }
 
@@ -146,6 +161,16 @@ func ConstrainedLocalSearch(w *ranking.Precedence, cons []Constraint, start rank
 // feasible, no worse than start, and bitwise identical for every worker
 // count.
 func ConstrainedSearch(w *ranking.Precedence, cons []Constraint, start ranking.Ranking, opts Options) ranking.Ranking {
+	return ConstrainedSearchCtx(context.Background(), w, cons, start, opts)
+}
+
+// ConstrainedSearchCtx is ConstrainedSearch with cooperative cancellation:
+// when ctx is done the engine stops at the next pass/restart boundary and
+// returns the best feasible ranking found so far — at minimum the (possibly
+// partially descended) start clone, which stays feasible because every
+// accepted move preserves feasibility. Never nil. A never-cancelled ctx
+// yields output bitwise identical to ConstrainedSearch.
+func ConstrainedSearchCtx(ctx context.Context, w *ranking.Precedence, cons []Constraint, start ranking.Ranking, opts Options) ranking.Ranking {
 	if !Feasible(start, cons) {
 		panic("kemeny: ConstrainedSearch start ranking violates constraints")
 	}
@@ -154,24 +179,26 @@ func ConstrainedSearch(w *ranking.Precedence, cons []Constraint, start ranking.R
 	seedCost := w.KemenyCost(seed)
 	if len(cons) > 0 {
 		sc := newSearchScratch(len(seed))
-		seedCost += sc.constrainedDescentDelta(w, cons, seed)
+		seedCost += sc.constrainedDescentDelta(ctx, w, cons, seed)
 	} else {
 		// No constraints: every move is feasible, so the cheaper
 		// best-improvement descent applies.
-		seedCost += localSearchDelta(w, seed)
+		seedCost += localSearchDelta(ctx, w, seed)
 	}
-	best, _ := restartSearch(w, cons, seed, seedCost, opts)
+	best, _ := restartSearch(ctx, w, cons, seed, seedCost, opts)
 	return best
 }
 
 // constrainedDescentDelta runs the feasibility-preserving first-improvement
 // insertion descent on r in place and returns the total Kemeny-cost change.
 // The scratch's move buffer is reused across candidates, passes, and
-// restarts.
-func (sc *searchScratch) constrainedDescentDelta(w *ranking.Precedence, cons []Constraint, r ranking.Ranking) int {
+// restarts. Cancellation is checked between passes; an early exit leaves r
+// feasible (every accepted move preserved feasibility) with the returned
+// delta exact.
+func (sc *searchScratch) constrainedDescentDelta(ctx context.Context, w *ranking.Precedence, cons []Constraint, r ranking.Ranking) int {
 	n := len(r)
 	total := 0
-	for improved := true; improved; {
+	for improved := true; improved && ctx.Err() == nil; {
 		improved = false
 		for i := 0; i < n; i++ {
 			c := r[i]

@@ -1,6 +1,7 @@
 package kemeny
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -78,7 +79,7 @@ func newSearchScratch(n int) *searchScratch {
 // the seed (nil otherwise — the common case allocates nothing). An empty
 // constraint set (nil or zero-length alike) selects the cheaper
 // unconstrained descent.
-func (sc *searchScratch) runRestart(w *ranking.Precedence, cons []Constraint, seed ranking.Ranking, seedCost int, opts Options, idx int) (int, ranking.Ranking) {
+func (sc *searchScratch) runRestart(ctx context.Context, w *ranking.Precedence, cons []Constraint, seed ranking.Ranking, seedCost int, opts Options, idx int) (int, ranking.Ranking) {
 	if sc.cur == nil {
 		sc.cur = make(ranking.Ranking, len(seed))
 		sc.rng = rand.New(rand.NewSource(0))
@@ -89,9 +90,9 @@ func (sc *searchScratch) runRestart(w *ranking.Precedence, cons []Constraint, se
 	copy(sc.cur, seed)
 	cost := seedCost + perturbFeasibleDelta(w, cons, sc.cur, opts.Strength, sc.rng)
 	if len(cons) > 0 {
-		cost += sc.constrainedDescentDelta(w, cons, sc.cur)
+		cost += sc.constrainedDescentDelta(ctx, w, cons, sc.cur)
 	} else {
-		cost += localSearchDelta(w, sc.cur)
+		cost += localSearchDelta(ctx, w, sc.cur)
 	}
 	if cost < seedCost {
 		return cost, sc.cur.Clone()
@@ -105,9 +106,16 @@ func (sc *searchScratch) runRestart(w *ranking.Precedence, cons []Constraint, se
 // An empty constraint set selects the unconstrained engine. Ties — including every
 // restart that fails to improve — resolve to the seed first and then to the
 // lowest restart index, independent of schedule.
-func restartSearch(w *ranking.Precedence, cons []Constraint, seed ranking.Ranking, seedCost int, opts Options) (ranking.Ranking, int) {
+//
+// Cancellation is cooperative: once ctx is done no further restart starts
+// (workers stop claiming indices), the in-flight ones finish their current
+// descent pass, and the merge below still returns the best completed result —
+// at minimum the seed, never a zero value. With a never-cancelled ctx the
+// output is bitwise identical to the uncancelled engine for every worker
+// count.
+func restartSearch(ctx context.Context, w *ranking.Precedence, cons []Constraint, seed ranking.Ranking, seedCost int, opts Options) (ranking.Ranking, int) {
 	restarts := opts.Perturbations
-	if restarts <= 0 || len(seed) < 2 {
+	if restarts <= 0 || len(seed) < 2 || ctx.Err() != nil {
 		return seed, seedCost
 	}
 	costs := make([]int, restarts)
@@ -115,8 +123,8 @@ func restartSearch(w *ranking.Precedence, cons []Constraint, seed ranking.Rankin
 	workers := restartWorkers(opts.Workers, restarts)
 	if workers == 1 {
 		sc := newSearchScratch(len(seed))
-		for i := 0; i < restarts; i++ {
-			costs[i], improved[i] = sc.runRestart(w, cons, seed, seedCost, opts, i)
+		for i := 0; i < restarts && ctx.Err() == nil; i++ {
+			costs[i], improved[i] = sc.runRestart(ctx, w, cons, seed, seedCost, opts, i)
 		}
 	} else {
 		next := int64(-1)
@@ -126,12 +134,12 @@ func restartSearch(w *ranking.Precedence, cons []Constraint, seed ranking.Rankin
 			go func() {
 				defer wg.Done()
 				sc := newSearchScratch(len(seed))
-				for {
+				for ctx.Err() == nil {
 					i := int(atomic.AddInt64(&next, 1))
 					if i >= restarts {
 						return
 					}
-					costs[i], improved[i] = sc.runRestart(w, cons, seed, seedCost, opts, i)
+					costs[i], improved[i] = sc.runRestart(ctx, w, cons, seed, seedCost, opts, i)
 				}
 			}()
 		}

@@ -1,0 +1,211 @@
+// Package cache implements the serving layer's consensus result store: an
+// LRU map keyed by canonical request digests, with optional TTL expiry,
+// hit/miss/eviction counters, and single-flight request coalescing so any
+// number of concurrent identical requests trigger exactly one computation.
+//
+// Consensus rankings are expensive (Fair-Kemeny restarts) but perfectly
+// reusable — the solvers are deterministic per request, so a digest hit is
+// semantically identical to recomputing. Sizing follows the classic cache
+// performance analyses (Che approximation): with a Zipf-skewed request
+// popularity the hit ratio is governed by the cache-size/working-set ratio,
+// which the BENCH_3 load generator measures empirically at several skews.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Do calls served from the store.
+	Hits uint64 `json:"hits"`
+	// Misses counts Do calls that had to compute (or join a computation).
+	Misses uint64 `json:"misses"`
+	// Coalesced counts Do calls that joined another caller's in-flight
+	// computation instead of starting their own (a subset of Misses).
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries dropped by LRU capacity pressure.
+	Evictions uint64 `json:"evictions"`
+	// Expirations counts entries dropped because their TTL elapsed.
+	Expirations uint64 `json:"expirations"`
+	// Entries is the current number of stored results.
+	Entries int `json:"entries"`
+	// InFlight is the current number of leader computations running.
+	InFlight int `json:"in_flight"`
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one stored result on the LRU list.
+type entry struct {
+	key      string
+	value    any
+	storedAt time.Time
+}
+
+// flight is one in-progress computation that concurrent identical requests
+// coalesce onto.
+type flight struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// Cache is a thread-safe LRU + TTL result store with single-flight
+// coalescing. The zero value is not usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	flights  map[string]*flight
+	now      func() time.Time
+
+	hits, misses, coalesced, evictions, expirations uint64
+}
+
+// New returns a cache holding up to capacity results for at most ttl each.
+// capacity <= 0 disables storage (coalescing still applies to concurrent
+// identical requests); ttl <= 0 disables expiry.
+func New(capacity int, ttl time.Duration) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ttl:      ttl,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+		now:      time.Now,
+	}
+}
+
+// SetClock replaces the cache's time source; tests use it to drive TTL
+// expiry deterministically.
+func (c *Cache) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// lookupLocked returns the live cached value for key, expiring it first if
+// its TTL elapsed. Callers hold c.mu.
+func (c *Cache) lookupLocked(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if c.ttl > 0 && c.now().Sub(e.storedAt) >= c.ttl {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.expirations++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.value, true
+}
+
+// storeLocked inserts (or refreshes) key, evicting from the LRU tail while
+// over capacity. Callers hold c.mu.
+func (c *Cache) storeLocked(key string, value any) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		e.value = value
+		e.storedAt = c.now()
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, value: value, storedAt: c.now()})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Do returns the result for key: from the store on a hit, by joining an
+// identical in-flight computation when one exists, and otherwise by running
+// compute in the caller's goroutine. compute returns (value, cacheable, err);
+// the value is stored only when err is nil and cacheable is true (the
+// serving layer marks deadline-truncated best-so-far results uncacheable so
+// a full-quality solve can replace them). Followers give up when their ctx
+// is done — the leader's computation is unaffected, so nothing leaks.
+//
+// The return flags: hit reports a store hit, shared reports the value came
+// from another caller's computation.
+func (c *Cache) Do(ctx context.Context, key string, compute func() (any, bool, error)) (value any, hit, shared bool, err error) {
+	c.mu.Lock()
+	if v, ok := c.lookupLocked(key); ok {
+		c.hits++
+		c.mu.Unlock()
+		return v, true, false, nil
+	}
+	c.misses++
+	if f, ok := c.flights[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.value, false, true, f.err
+		case <-ctx.Done():
+			return nil, false, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	// Resolve the flight even if compute panics, so followers never hang.
+	completed := false
+	defer func() {
+		if !completed {
+			c.finish(key, f, nil, false, context.Canceled)
+		}
+	}()
+	v, cacheable, cerr := compute()
+	completed = true
+	c.finish(key, f, v, cacheable, cerr)
+	return v, false, false, cerr
+}
+
+// finish publishes a flight's outcome, stores cacheable successes, and wakes
+// the followers.
+func (c *Cache) finish(key string, f *flight, value any, cacheable bool, err error) {
+	c.mu.Lock()
+	if err == nil && cacheable {
+		c.storeLocked(key, value)
+	}
+	delete(c.flights, key)
+	c.mu.Unlock()
+	f.value, f.err = value, err
+	close(f.done)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Coalesced:   c.coalesced,
+		Evictions:   c.evictions,
+		Expirations: c.expirations,
+		Entries:     c.ll.Len(),
+		InFlight:    len(c.flights),
+	}
+}

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"sort"
+	"strings"
+)
+
+// digestVersion namespaces the digest; bump it whenever the canonical
+// serialisation below or the solvers' deterministic behaviour changes, so
+// stale cached results can never be served across an upgrade.
+const digestVersion = "manirankd/v1"
+
+// Digest returns the canonical cache key of an aggregate request: a SHA-256
+// over a fixed-order serialisation of every request field that influences
+// the result — method, solver options, fairness thresholds (sorted by name,
+// so Go's randomised map iteration order can never perturb the key),
+// attributes, and the profile. DeadlineMillis is deliberately excluded: the
+// deadline changes how long we are willing to search, not what the request
+// asks for, and truncated (partial) results are never cached.
+//
+// The digest is stable across processes and runs; two structurally equal
+// requests always collide and any semantic difference separates them.
+func Digest(req *AggregateRequest) string {
+	h := sha256.New()
+	writeString(h, digestVersion)
+	writeString(h, strings.ToLower(req.Method))
+
+	writeFloat(h, req.Delta)
+	// The intersection key is matched case-insensitively at build time, so
+	// canonicalise the spelling BEFORE sorting — "Intersection" and
+	// "intersection" must serialise to the same position and bytes.
+	// (buildProblem rejects requests carrying both spellings at once.)
+	type kv struct {
+		name string
+		val  float64
+	}
+	keys := make([]kv, 0, len(req.Thresholds))
+	for k, v := range req.Thresholds {
+		name := k
+		if interThresholdKey(k) {
+			name = "intersection"
+		}
+		keys = append(keys, kv{name, v})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].name < keys[j].name })
+	writeInt(h, int64(len(keys)))
+	for _, k := range keys {
+		writeString(h, k.name)
+		writeFloat(h, k.val)
+	}
+
+	o := req.Options
+	writeInt(h, o.Seed)
+	writeInt(h, int64(o.Perturbations))
+	writeInt(h, int64(o.Strength))
+	writeInt(h, int64(o.ExactThreshold))
+	writeInt(h, o.MaxNodes)
+
+	writeInt(h, int64(len(req.Attributes)))
+	for _, a := range req.Attributes {
+		writeString(h, a.Name)
+		writeInt(h, int64(len(a.Values)))
+		for _, v := range a.Values {
+			writeString(h, v)
+		}
+		writeInts(h, a.Of)
+	}
+
+	writeInt(h, int64(len(req.Profile)))
+	for _, row := range req.Profile {
+		writeInts(h, row)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeString writes a length-prefixed string, so no concatenation of
+// adjacent fields can collide with a different split of the same bytes.
+func writeString(h hash.Hash, s string) {
+	writeInt(h, int64(len(s)))
+	h.Write([]byte(s))
+}
+
+func writeInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+func writeFloat(h hash.Hash, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	h.Write(buf[:])
+}
+
+func writeInts(h hash.Hash, vs []int) {
+	writeInt(h, int64(len(vs)))
+	buf := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	h.Write(buf)
+}

@@ -1,0 +1,239 @@
+// Package loadgen drives a manirankd instance with a synthetic serving
+// workload: a pool of distinct Mallows-profile requests whose popularity
+// follows a configurable Zipf skew, replayed by concurrent closed-loop
+// clients. It measures end-to-end throughput, latency percentiles, and the
+// cache hit rate — the empirical counterpart to the Che-approximation view
+// of cache sizing: hit rate is a function of cache capacity versus the
+// skew-weighted working set, so sweeping the Zipf exponent maps the serving
+// layer's useful operating range.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"manirank/internal/mallows"
+	"manirank/internal/ranking"
+	"manirank/internal/service"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// URL is the server base URL, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Clients is the number of concurrent closed-loop requesters (default 8).
+	Clients int
+	// Requests is the total request count across all clients (default 400).
+	Requests int
+	// Profiles is the number of distinct request bodies in the pool
+	// (default 50) — the working-set size the cache contends with.
+	Profiles int
+	// ZipfS is the popularity skew exponent; 0 draws uniformly, otherwise
+	// it must be > 1 (math/rand's Zipf domain) and larger means hotter hot
+	// keys (default 0).
+	ZipfS float64
+	// Candidates and Rankers size each synthetic profile (defaults 60, 40).
+	Candidates, Rankers int
+	// Theta is the Mallows spread of every profile (default 0.4).
+	Theta float64
+	// Method is the consensus method requested (default "fair-kemeny").
+	Method string
+	// Delta is the fairness threshold for fair methods (default 0.2).
+	Delta float64
+	// DeadlineMillis is attached to every request (default 0: server
+	// default).
+	DeadlineMillis int64
+	// Seed drives profile generation and the popularity draws.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Requests == 0 {
+		c.Requests = 400
+	}
+	if c.Profiles == 0 {
+		c.Profiles = 50
+	}
+	if c.Candidates == 0 {
+		c.Candidates = 60
+	}
+	if c.Rankers == 0 {
+		c.Rankers = 40
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.4
+	}
+	if c.Method == "" {
+		c.Method = "fair-kemeny"
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.2
+	}
+	return c
+}
+
+// Result summarises one load run.
+type Result struct {
+	ZipfS        float64 `json:"zipf_s"`
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	Rejected     int     `json:"rejected_429"`
+	DurationS    float64 `json:"duration_s"`
+	Throughput   float64 `json:"throughput_rps"`
+	HitRate      float64 `json:"cache_hit_rate"`
+	Coalesced    int     `json:"coalesced"`
+	P50LatencyMS float64 `json:"p50_latency_ms"`
+	P99LatencyMS float64 `json:"p99_latency_ms"`
+}
+
+// buildPool generates the distinct request bodies, pre-marshalled once —
+// the generator must not bottleneck the server being measured.
+func buildPool(cfg Config) ([][]byte, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gender := make([]int, cfg.Candidates)
+	region := make([]int, cfg.Candidates)
+	for c := 0; c < cfg.Candidates; c++ {
+		gender[c] = c % 2
+		region[c] = (c / 2) % 3
+	}
+	pool := make([][]byte, cfg.Profiles)
+	for i := range pool {
+		modal := ranking.Random(cfg.Candidates, rng)
+		p := mallows.MustNewPlackettLuce(modal, cfg.Theta).SampleProfile(cfg.Rankers, rng)
+		profile := make([][]int, len(p))
+		for j, r := range p {
+			profile[j] = r
+		}
+		req := &service.AggregateRequest{
+			Method:  cfg.Method,
+			Profile: profile,
+			Attributes: []service.AttributeSpec{
+				{Name: "Gender", Values: []string{"M", "W"}, Of: gender},
+				{Name: "Region", Values: []string{"N", "C", "S"}, Of: region},
+			},
+			Delta:          cfg.Delta,
+			DeadlineMillis: cfg.DeadlineMillis,
+		}
+		blob, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = blob
+	}
+	return pool, nil
+}
+
+// picker returns a popularity sampler over [0, n): Zipf-skewed for s > 1,
+// uniform for s == 0.
+func picker(s float64, n int, rng *rand.Rand) (func() int, error) {
+	if s == 0 {
+		return func() int { return rng.Intn(n) }, nil
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("loadgen: ZipfS must be 0 (uniform) or > 1, got %g", s)
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }, nil
+}
+
+// Run replays the workload and reports the measured serving behaviour.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	pool, err := buildPool(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		hits      int
+		coalesced int
+		errs      int
+		rejected  int
+	)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	start := time.Now()
+	var wg sync.WaitGroup
+	total := 0
+	for c := 0; c < cfg.Clients; c++ {
+		// Spread Requests across clients without dropping the remainder.
+		perClient := cfg.Requests / cfg.Clients
+		if c < cfg.Requests%cfg.Clients {
+			perClient++
+		}
+		total += perClient
+		wg.Add(1)
+		go func(c, perClient int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(1000+c)))
+			pick, perr := picker(cfg.ZipfS, len(pool), rng)
+			if perr != nil {
+				mu.Lock()
+				errs += perClient
+				mu.Unlock()
+				return
+			}
+			for i := 0; i < perClient; i++ {
+				reqStart := time.Now()
+				resp, err := client.Post(cfg.URL+"/v1/aggregate", "application/json", bytes.NewReader(pool[pick()]))
+				if err != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					continue
+				}
+				var out service.AggregateResponse
+				decodeErr := json.NewDecoder(resp.Body).Decode(&out)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ms := float64(time.Since(reqStart)) / float64(time.Millisecond)
+				mu.Lock()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected++
+				case resp.StatusCode != http.StatusOK || decodeErr != nil:
+					errs++
+				default:
+					latencies = append(latencies, ms)
+					if out.Cached {
+						hits++
+					}
+					if out.Coalesced {
+						coalesced++
+					}
+				}
+				mu.Unlock()
+			}
+		}(c, perClient)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := Result{
+		ZipfS:     cfg.ZipfS,
+		Requests:  total,
+		Errors:    errs,
+		Rejected:  rejected,
+		DurationS: elapsed.Seconds(),
+		Coalesced: coalesced,
+	}
+	if res.DurationS > 0 {
+		res.Throughput = float64(len(latencies)+rejected) / res.DurationS
+	}
+	if n := len(latencies); n > 0 {
+		res.HitRate = float64(hits) / float64(n)
+		sort.Float64s(latencies)
+		res.P50LatencyMS = latencies[(n-1)*50/100]
+		res.P99LatencyMS = latencies[(n-1)*99/100]
+	}
+	return res, nil
+}

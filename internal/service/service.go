@@ -1,0 +1,539 @@
+// Package service is manirankd's serving layer: an HTTP JSON API over the
+// MANI-Rank solvers with three server-grade layers on top of the compute
+// core —
+//
+//  1. a canonical-digest LRU result cache with single-flight coalescing
+//     (internal/service/cache): identical concurrent requests compute once,
+//     repeated requests are served from memory;
+//  2. admission and scheduling: a bounded job queue feeding a fixed solver
+//     worker pool, per-request deadlines threaded as context.Context into
+//     the Kemeny/Fair-Kemeny restart loops (best-so-far on expiry), and
+//     backpressure (HTTP 429) when the queue is full;
+//  3. observability: /statz (queue depth, in-flight solves, cache counters,
+//     p50/p99 latency rings) and structured request logging.
+//
+// See DESIGN.md §6 for the queue → cache → solver architecture.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"manirank/internal/aggregate"
+	"manirank/internal/core"
+	"manirank/internal/fairness"
+	"manirank/internal/kemeny"
+	"manirank/internal/ranking"
+	"manirank/internal/service/cache"
+)
+
+// Config tunes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// QueueDepth bounds the admission queue; a full queue answers 429
+	// (default 64).
+	QueueDepth int
+	// Workers is the solver pool width — at most this many requests compute
+	// concurrently (default GOMAXPROCS).
+	Workers int
+	// SolverWorkers shards each individual solve's restarts
+	// (kemeny.Options.Workers). Default 1: under concurrent load the request
+	// pool owns the machine's parallelism, and restart pools per solve would
+	// oversubscribe it — the same reasoning as the experiment harness.
+	SolverWorkers int
+	// CacheSize is the LRU result capacity in entries (default 1024;
+	// negative disables caching).
+	CacheSize int
+	// CacheTTL expires cached results (default 0: never).
+	CacheTTL time.Duration
+	// DefaultDeadline caps a solve when the request doesn't set deadline_ms
+	// (default 30s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps what deadline_ms may ask for (default 5m).
+	MaxDeadline time.Duration
+	// MaxBodyBytes bounds the request body (default 32 MiB).
+	MaxBodyBytes int64
+	// Logger receives structured request logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SolverWorkers == 0 {
+		c.SolverWorkers = 1
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Errors the admission layer maps to HTTP statuses.
+var (
+	// ErrQueueFull: the bounded queue rejected the request (429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrExpiredInQueue: the request's deadline elapsed before a solver
+	// worker picked it up (504).
+	ErrExpiredInQueue = errors.New("service: deadline expired while queued")
+	// ErrShuttingDown: the server is draining (503).
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// result is the cached/shared outcome of one solve.
+type result struct {
+	Ranking ranking.Ranking `json:"ranking"`
+	Method  string          `json:"method"`
+	PDLoss  float64         `json:"pd_loss"`
+	Audit   *auditPayload   `json:"audit,omitempty"`
+	Partial bool            `json:"partial"`
+}
+
+// auditPayload is the wire form of a fairness audit.
+type auditPayload struct {
+	ARPs map[string]float64 `json:"arps"`
+	IRP  float64            `json:"irp"`
+}
+
+// AggregateResponse is the POST /v1/aggregate response body.
+type AggregateResponse struct {
+	result
+	Cached    bool    `json:"cached"`
+	Coalesced bool    `json:"coalesced"`
+	Digest    string  `json:"digest"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// job is one admitted solve travelling from the handler to a worker.
+type job struct {
+	pb   *problem
+	ctx  context.Context // carries the compute deadline
+	done chan struct{}
+	res  *result
+	err  error
+	// state arbitrates the queued job between the worker and a leader whose
+	// deadline lapses while it waits: exactly one of claim/abandon wins.
+	state atomic.Int32 // 0 = queued, 1 = claimed by a worker, 2 = abandoned by the leader
+}
+
+// claim marks the job as picked up by a worker; false means the leader
+// already walked away and the job must be dropped.
+func (j *job) claim() bool { return j.state.CompareAndSwap(0, 1) }
+
+// abandon marks the job as given up by its leader; false means a worker
+// already claimed it and the leader must keep waiting for the (imminent,
+// deadline-bounded) result.
+func (j *job) abandon() bool { return j.state.CompareAndSwap(0, 2) }
+
+// Server is the manirankd serving core. Construct with New, mount via
+// Handler, stop with Close.
+type Server struct {
+	cfg     Config
+	cache   *cache.Cache
+	jobs    chan *job
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	log     *slog.Logger
+	started time.Time
+
+	inFlight  atomic.Int64 // solves currently executing
+	queued    atomic.Int64 // jobs waiting in the queue
+	byStatus  sync.Map     // int -> *atomic.Int64
+	solveLat  latencyRing  // latency of computed (non-hit) requests
+	hitLat    latencyRing  // latency of cache-hit requests
+	closeOnce sync.Once
+}
+
+// New starts a Server's worker pool and returns it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache.New(cfg.CacheSize, cfg.CacheTTL),
+		jobs:    make(chan *job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		log:     cfg.Logger,
+		started: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close drains the solver pool: workers finish their current job and exit,
+// and any job still queued fails with ErrShuttingDown. Stop accepting HTTP
+// traffic (http.Server.Shutdown) before calling Close so no handler is left
+// waiting.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		s.wg.Wait()
+		for {
+			select {
+			case j := <-s.jobs:
+				j.err = ErrShuttingDown
+				close(j.done)
+			default:
+				return
+			}
+		}
+	})
+}
+
+// worker pops admitted jobs and solves them until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.jobs:
+			s.queued.Add(-1)
+			if !j.claim() {
+				// The leader already answered 504 for it; nobody is
+				// listening, so don't waste a solver slot.
+				continue
+			}
+			if j.ctx.Err() != nil {
+				// Expired while queued: don't waste a solver slot on it.
+				j.err = ErrExpiredInQueue
+				close(j.done)
+				continue
+			}
+			s.inFlight.Add(1)
+			j.res, j.err = s.solve(j.ctx, j.pb)
+			s.inFlight.Add(-1)
+			close(j.done)
+		}
+	}
+}
+
+// kemenyOptions lowers the request's solver knobs onto the engine options.
+func (s *Server) kemenyOptions(o SolverOptions) aggregate.KemenyOptions {
+	return aggregate.KemenyOptions{
+		ExactThreshold: o.ExactThreshold,
+		MaxNodes:       o.MaxNodes,
+		Heuristic: kemeny.Options{
+			Seed:          o.Seed,
+			Perturbations: o.Perturbations,
+			Strength:      o.Strength,
+			Workers:       s.cfg.SolverWorkers,
+		},
+	}
+}
+
+// solve runs one problem on the compute core. ctx carries the request
+// deadline; the Kemeny engines return best-so-far on expiry, so a partial
+// result is still a valid (and for fair methods, feasible) ranking.
+func (s *Server) solve(ctx context.Context, pb *problem) (*result, error) {
+	kopts := s.kemenyOptions(pb.opts)
+	var (
+		r       ranking.Ranking
+		err     error
+		partial bool
+	)
+	switch pb.method {
+	case "borda":
+		r, err = aggregate.Borda(pb.profile)
+	case "copeland":
+		var w *ranking.Precedence
+		if w, err = ranking.NewPrecedence(pb.profile); err == nil {
+			r = aggregate.Copeland(w)
+		}
+	case "schulze":
+		var w *ranking.Precedence
+		if w, err = ranking.NewPrecedence(pb.profile); err == nil {
+			r = aggregate.Schulze(w)
+		}
+	case "kemeny":
+		var w *ranking.Precedence
+		if w, err = ranking.NewPrecedence(pb.profile); err == nil {
+			r = aggregate.KemenyCtx(ctx, w, kopts)
+			partial = ctx.Err() != nil
+		}
+	case "fair-borda":
+		r, err = core.FairBorda(pb.profile, pb.targets)
+	case "fair-copeland":
+		r, err = core.FairCopeland(pb.profile, pb.targets)
+	case "fair-schulze":
+		r, err = core.FairSchulze(pb.profile, pb.targets)
+	case "fair-kemeny":
+		var w *ranking.Precedence
+		if w, err = ranking.NewPrecedence(pb.profile); err == nil {
+			r, err = core.FairKemenyWCtx(ctx, w, pb.targets, core.Options{Kemeny: kopts})
+			partial = err == nil && ctx.Err() != nil
+		}
+	default:
+		err = fmt.Errorf("service: unreachable method %q", pb.method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &result{
+		Ranking: r,
+		Method:  pb.method,
+		PDLoss:  ranking.PDLoss(pb.profile, r),
+		// partial was sampled immediately after the cancellable engines
+		// returned (only the Kemeny-based methods react to ctx; the
+		// polynomial methods always run to completion, so a deadline that
+		// lapses during their PDLoss/audit bookkeeping must not mislabel a
+		// complete result and evict it from cacheability).
+		Partial: partial,
+	}
+	if pb.tab != nil {
+		rep := fairness.Audit(r, pb.tab)
+		arps := make(map[string]float64, len(rep.ARPs))
+		for i, a := range pb.tab.Attrs() {
+			arps[a.Name] = rep.ARPs[i]
+		}
+		res.Audit = &auditPayload{ARPs: arps, IRP: rep.IRP}
+	}
+	return res, nil
+}
+
+// deadline resolves a request's compute budget.
+func (s *Server) deadline(req *AggregateRequest) time.Duration {
+	d := s.cfg.DefaultDeadline
+	if req.DeadlineMillis > 0 {
+		d = time.Duration(req.DeadlineMillis) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+// admit queues pb for the worker pool and waits for its result. The compute
+// context is detached from the requester: coalesced followers must not lose
+// the computation because the leader's connection died, and the deadline
+// bounds it regardless.
+func (s *Server) admit(pb *problem, budget time.Duration) (*result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	j := &job{pb: pb, ctx: ctx, done: make(chan struct{})}
+	// Count the job before the send: a worker may pop it (and decrement)
+	// the instant the send lands, and the depth gauge must never go
+	// negative. The rejection paths undo the increment.
+	s.queued.Add(1)
+	select {
+	case s.jobs <- j:
+	case <-s.quit:
+		s.queued.Add(-1)
+		return nil, ErrShuttingDown
+	default:
+		s.queued.Add(-1)
+		return nil, ErrQueueFull
+	}
+	select {
+	case <-j.done:
+		return j.res, j.err
+	case <-ctx.Done():
+		// The compute deadline lapsed. If the job is still queued behind
+		// busy workers, abandon it and answer 504 now instead of holding
+		// the connection until a worker pops (and then drops) it. If a
+		// worker already claimed it, the cooperative cancellation bounds
+		// the remaining solve time — wait for its best-so-far result.
+		if j.abandon() {
+			return nil, ErrExpiredInQueue
+		}
+		<-j.done
+		return j.res, j.err
+	case <-s.quit:
+		// Close drains the queue and resolves every job; prefer its answer
+		// when it already landed.
+		select {
+		case <-j.done:
+			return j.res, j.err
+		default:
+			return nil, ErrShuttingDown
+		}
+	}
+}
+
+// Handler returns the service's HTTP mux: POST /v1/aggregate, GET /healthz,
+// GET /statz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/aggregate", s.handleAggregate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.writeError(w, r, http.StatusMethodNotAllowed, errors.New("use POST"), start)
+		return
+	}
+	var req AggregateRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err), start)
+		return
+	}
+	pb, err := buildProblem(&req)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err, start)
+		return
+	}
+	digest := Digest(&req)
+	budget := s.deadline(&req)
+
+	// Followers wait at most their own budget for the leader's flight.
+	waitCtx, cancelWait := context.WithTimeout(r.Context(), budget)
+	defer cancelWait()
+	v, hit, shared, err := s.cache.Do(waitCtx, digest, func() (any, bool, error) {
+		res, err := s.admit(pb, budget)
+		if err != nil {
+			return nil, false, err
+		}
+		return res, !res.Partial, nil
+	})
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			status = http.StatusTooManyRequests
+		case errors.Is(err, ErrExpiredInQueue),
+			errors.Is(err, context.DeadlineExceeded),
+			errors.Is(err, context.Canceled):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, ErrShuttingDown):
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, r, status, err, start)
+		return
+	}
+	res := v.(*result)
+	elapsed := time.Since(start)
+	if hit {
+		s.hitLat.add(elapsed)
+	} else {
+		s.solveLat.add(elapsed)
+	}
+	resp := &AggregateResponse{
+		result:    *res,
+		Cached:    hit,
+		Coalesced: shared,
+		Digest:    digest,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	s.countStatus(http.StatusOK)
+	s.log.Info("aggregate",
+		"method", pb.method,
+		"digest", digest[:12],
+		"n", pb.profile.N(),
+		"rankers", len(pb.profile),
+		"status", http.StatusOK,
+		"cached", hit,
+		"coalesced", shared,
+		"partial", res.Partial,
+		"elapsed_ms", resp.ElapsedMS,
+		"queue_depth", s.queued.Load(),
+	)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Statz is the /statz snapshot.
+type Statz struct {
+	UptimeSeconds float64           `json:"uptime_s"`
+	Queue         QueueStatz        `json:"queue"`
+	Cache         cache.Stats       `json:"cache"`
+	CacheHitRate  float64           `json:"cache_hit_rate"`
+	Requests      map[string]uint64 `json:"requests_by_status"`
+	LatencySolve  LatencySnapshot   `json:"latency_solve"`
+	LatencyHit    LatencySnapshot   `json:"latency_hit"`
+}
+
+// QueueStatz reports the admission layer.
+type QueueStatz struct {
+	Depth    int64 `json:"depth"`
+	Capacity int   `json:"capacity"`
+	InFlight int64 `json:"in_flight"`
+	Workers  int   `json:"workers"`
+}
+
+// StatzSnapshot assembles the /statz payload (exported for the load
+// generator and tests).
+func (s *Server) StatzSnapshot() Statz {
+	cs := s.cache.Stats()
+	st := Statz{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Queue: QueueStatz{
+			Depth:    s.queued.Load(),
+			Capacity: s.cfg.QueueDepth,
+			InFlight: s.inFlight.Load(),
+			Workers:  s.cfg.Workers,
+		},
+		Cache:        cs,
+		CacheHitRate: cs.HitRate(),
+		Requests:     map[string]uint64{},
+		LatencySolve: s.solveLat.snapshot(),
+		LatencyHit:   s.hitLat.snapshot(),
+	}
+	s.byStatus.Range(func(k, v any) bool {
+		st.Requests[strconv.Itoa(k.(int))] = uint64(v.(*atomic.Int64).Load())
+		return true
+	})
+	return st
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatzSnapshot())
+}
+
+func (s *Server) countStatus(status int) {
+	v, _ := s.byStatus.LoadOrStore(status, new(atomic.Int64))
+	v.(*atomic.Int64).Add(1)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error, start time.Time) {
+	s.countStatus(status)
+	s.log.Warn("aggregate error",
+		"path", r.URL.Path,
+		"status", status,
+		"error", err.Error(),
+		"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond),
+		"queue_depth", s.queued.Load(),
+	)
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

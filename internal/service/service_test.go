@@ -1,0 +1,371 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"manirank/internal/mallows"
+	"manirank/internal/ranking"
+)
+
+// newTestServer starts a Server over httptest with quiet logging.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// testRequest builds a 20-candidate request: a Mallows profile over two
+// binary attributes.
+func testRequest(method string, seed int64) *AggregateRequest {
+	const n, m = 20, 12
+	rng := rand.New(rand.NewSource(seed))
+	modal := ranking.Random(n, rng)
+	p := mallows.MustNew(modal, 0.5).SampleProfile(m, rng)
+	profile := make([][]int, len(p))
+	for i, r := range p {
+		profile[i] = r
+	}
+	gender := make([]int, n)
+	region := make([]int, n)
+	for c := 0; c < n; c++ {
+		gender[c] = c % 2
+		region[c] = (c / 2) % 2
+	}
+	return &AggregateRequest{
+		Method:  method,
+		Profile: profile,
+		Attributes: []AttributeSpec{
+			{Name: "Gender", Values: []string{"M", "W"}, Of: gender},
+			{Name: "Region", Values: []string{"N", "S"}, Of: region},
+		},
+		Delta: 0.3,
+	}
+}
+
+func post(t *testing.T, url string, req *AggregateRequest) (int, *AggregateResponse) {
+	t.Helper()
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/aggregate", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var out AggregateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding response %s: %v", body, err)
+	}
+	return resp.StatusCode, &out
+}
+
+// TestAggregateAllMethods: every method serves a valid consensus over HTTP,
+// fair methods satisfy their targets, and the audit is attached.
+func TestAggregateAllMethods(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, method := range Methods {
+		req := testRequest(method, 5)
+		status, out := post(t, ts.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d", method, status)
+		}
+		if err := out.Ranking.Validate(); err != nil {
+			t.Fatalf("%s: invalid ranking: %v", method, err)
+		}
+		if out.Method != method || out.Partial || out.Cached {
+			t.Fatalf("%s: unexpected flags %+v", method, out)
+		}
+		if out.Audit == nil {
+			t.Fatalf("%s: no audit despite attributes", method)
+		}
+		if req.IsFair() {
+			for name, arp := range out.Audit.ARPs {
+				if arp > req.Delta+1e-9 {
+					t.Fatalf("%s: ARP %s = %g exceeds delta %g", method, name, arp, req.Delta)
+				}
+			}
+			if out.Audit.IRP > req.Delta+1e-9 {
+				t.Fatalf("%s: IRP %g exceeds delta %g", method, out.Audit.IRP, req.Delta)
+			}
+		}
+	}
+}
+
+// TestSecondIdenticalRequestIsCacheHit is the e2e caching contract: same
+// request twice, the second is served from memory with the identical
+// ranking.
+func TestSecondIdenticalRequestIsCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := testRequest("fair-kemeny", 6)
+	_, first := post(t, ts.URL, req)
+	status, second := post(t, ts.URL, req)
+	if status != http.StatusOK || !second.Cached {
+		t.Fatalf("second request: status=%d cached=%v, want 200 cache hit", status, second.Cached)
+	}
+	if !second.Ranking.Equal(first.Ranking) {
+		t.Fatal("cache returned a different ranking")
+	}
+	if st := s.StatzSnapshot(); st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit / 1 miss", st.Cache)
+	}
+}
+
+// TestConcurrentIdenticalRequestsComputeOnce: the coalescing acceptance
+// criterion, run with many goroutines (meaningful under -race). Exactly one
+// request leads the flight; everyone gets the same ranking.
+func TestConcurrentIdenticalRequestsComputeOnce(t *testing.T) {
+	const clients = 16
+	s, ts := newTestServer(t, Config{Workers: 4})
+	req := testRequest("fair-kemeny", 7)
+	req.Options.Perturbations = 400 // slow enough that the flight stays open
+	var wg sync.WaitGroup
+	outs := make([]*AggregateResponse, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, out := post(t, ts.URL, req)
+			if status != http.StatusOK {
+				t.Errorf("client %d: status %d", i, status)
+				return
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	leaders := 0
+	for i, out := range outs {
+		if out == nil {
+			t.Fatalf("client %d got no response", i)
+		}
+		if !out.Ranking.Equal(outs[0].Ranking) {
+			t.Fatalf("client %d got a different ranking", i)
+		}
+		if !out.Cached && !out.Coalesced {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d clients computed independently, want exactly 1", leaders)
+	}
+	if st := s.StatzSnapshot(); st.Cache.Coalesced+st.Cache.Hits != clients-1 {
+		t.Fatalf("stats %+v: coalesced+hits = %d, want %d", st.Cache,
+			st.Cache.Coalesced+st.Cache.Hits, clients-1)
+	}
+}
+
+// TestDeadlineReturnsBestSoFarUncached: a deadline that expires mid-search
+// yields HTTP 200 with a valid, feasible, partial ranking — and the partial
+// result is not stored, so the next identical request recomputes.
+func TestDeadlineReturnsBestSoFarUncached(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	req := testRequest("fair-kemeny", 8)
+	req.Options.Perturbations = 2_000_000 // runs for many seconds uncancelled
+	req.DeadlineMillis = 250
+	start := time.Now()
+	status, out := post(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200 with best-so-far", status)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: request took %v", elapsed)
+	}
+	if !out.Partial {
+		t.Fatal("expected a partial (deadline-truncated) result")
+	}
+	if err := out.Ranking.Validate(); err != nil {
+		t.Fatalf("partial result invalid: %v", err)
+	}
+	for name, arp := range out.Audit.ARPs {
+		if arp > req.Delta+1e-9 {
+			t.Fatalf("partial result violates ARP %s = %g", name, arp)
+		}
+	}
+	if _, again := post(t, ts.URL, req); again.Cached {
+		t.Fatal("partial result was cached")
+	}
+}
+
+// TestQueueFullBackpressure: with one busy worker and a one-slot queue, the
+// third concurrent distinct request is rejected with 429, and a queued
+// request whose deadline lapses before service answers 504.
+func TestQueueFullBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	slow := testRequest("fair-kemeny", 9)
+	slow.Options.Perturbations = 2_000_000
+	slow.DeadlineMillis = 1500
+
+	done := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts.URL, slow)
+		done <- status
+	}()
+	waitFor(t, func() bool { return s.StatzSnapshot().Queue.InFlight == 1 })
+
+	queued := testRequest("fair-kemeny", 10) // distinct digest
+	queued.Options.Perturbations = 2_000_000
+	queued.DeadlineMillis = 300 // expires long before the worker frees up
+	queuedDone := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts.URL, queued)
+		queuedDone <- status
+	}()
+	waitFor(t, func() bool { return s.StatzSnapshot().Queue.Depth == 1 })
+
+	rejected := testRequest("fair-kemeny", 11)
+	rejected.Options.Perturbations = 2_000_000
+	if status, _ := post(t, ts.URL, rejected); status != http.StatusTooManyRequests {
+		t.Fatalf("third concurrent request: status %d, want 429", status)
+	}
+	// The queued request must answer 504 at its own 300ms deadline — while
+	// the worker is still busy with the slow job — not when the worker
+	// finally frees up.
+	queuedStart := time.Now()
+	if status := <-queuedDone; status != http.StatusGatewayTimeout {
+		t.Fatalf("expired-in-queue request: status %d, want 504", status)
+	}
+	if waited := time.Since(queuedStart); waited > time.Second {
+		t.Fatalf("queued request held for %v past its 300ms deadline", waited)
+	}
+	if status := <-done; status != http.StatusOK {
+		t.Fatalf("slow request: status %d, want 200 (partial)", status)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := map[string]*AggregateRequest{
+		"unknown method":         {Method: "banzhaf", Profile: [][]int{{0, 1}}},
+		"empty profile":          {Method: "borda"},
+		"not a permutation":      {Method: "borda", Profile: [][]int{{0, 0}}},
+		"ragged profile":         {Method: "borda", Profile: [][]int{{0, 1}, {0, 1, 2}}},
+		"fair without attrs":     {Method: "fair-borda", Profile: [][]int{{0, 1}}, Delta: 0.1},
+		"fair without delta":     {Method: "fair-borda", Profile: [][]int{{0, 1}}, Attributes: []AttributeSpec{{Name: "G", Values: []string{"a", "b"}, Of: []int{0, 1}}}},
+		"delta out of range":     {Method: "fair-borda", Profile: [][]int{{0, 1}}, Delta: 1.5, Attributes: []AttributeSpec{{Name: "G", Values: []string{"a", "b"}, Of: []int{0, 1}}}},
+		"attr size mismatch":     {Method: "fair-borda", Profile: [][]int{{0, 1}}, Delta: 0.1, Attributes: []AttributeSpec{{Name: "G", Values: []string{"a"}, Of: []int{0, 0, 0}}}},
+		"unknown threshold name": {Method: "fair-borda", Profile: [][]int{{0, 1}}, Delta: 0.1, Thresholds: map[string]float64{"Nope": 0.1}, Attributes: []AttributeSpec{{Name: "G", Values: []string{"a", "b"}, Of: []int{0, 1}}}},
+		"duplicate intersection": {Method: "fair-borda", Profile: [][]int{{0, 1}}, Delta: 0.1, Thresholds: map[string]float64{"intersection": 0.1, "Intersection": 0.9}, Attributes: []AttributeSpec{{Name: "G", Values: []string{"a", "b"}, Of: []int{0, 1}}}},
+	}
+	for name, req := range cases {
+		if status, _ := post(t, ts.URL, req); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, status)
+		}
+	}
+}
+
+// TestThresholdsPerAttribute: per-attribute thresholds reach the solver —
+// the tight attribute's parity is enforced below the loose default.
+func TestThresholdsPerAttribute(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := testRequest("fair-borda", 12)
+	req.Delta = 0.8
+	req.Thresholds = map[string]float64{"Gender": 0.05, "Intersection": 0.9}
+	status, out := post(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if arp := out.Audit.ARPs["Gender"]; arp > 0.05+1e-9 {
+		t.Fatalf("Gender ARP %g exceeds its 0.05 threshold", arp)
+	}
+}
+
+func TestHealthzAndStatz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	post(t, ts.URL, testRequest("borda", 13))
+	resp, err = http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queue.Capacity == 0 || st.Queue.Workers == 0 {
+		t.Fatalf("statz queue config empty: %+v", st.Queue)
+	}
+	if st.Requests["200"] == 0 {
+		t.Fatalf("statz did not count the 200: %+v", st.Requests)
+	}
+	if st.LatencySolve.Count == 0 {
+		t.Fatalf("statz solve latency ring empty: %+v", st.LatencySolve)
+	}
+}
+
+// TestStatzLatencyPercentiles sanity-checks the ring math directly.
+func TestStatzLatencyPercentiles(t *testing.T) {
+	var r latencyRing
+	for i := 1; i <= 100; i++ {
+		r.add(time.Duration(i) * time.Millisecond)
+	}
+	snap := r.snapshot()
+	if snap.Count != 100 || snap.P50 < 49 || snap.P50 > 51 || snap.P99 < 98 || snap.Max != 100 {
+		t.Fatalf("snapshot %+v out of range", snap)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/aggregate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET aggregate: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestUnfairMethodWithoutAttributes: plain aggregators work with no table;
+// the audit is simply absent.
+func TestUnfairMethodWithoutAttributes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := testRequest("schulze", 14)
+	req.Attributes = nil
+	status, out := post(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if out.Audit != nil {
+		t.Fatal("audit present without attributes")
+	}
+	if err := out.Ranking.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ringSize is the latency window: percentiles are computed over the most
+// recent ringSize observations, a fixed-memory sliding window that tracks
+// current behaviour instead of lifetime averages.
+const ringSize = 1024
+
+// latencyRing is a fixed-size ring of request latencies with on-demand
+// percentile queries.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   [ringSize]float64 // milliseconds
+	next  int
+	count uint64
+}
+
+func (r *latencyRing) add(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % ringSize
+	r.count++
+	r.mu.Unlock()
+}
+
+// LatencySnapshot summarises one ring for /statz.
+type LatencySnapshot struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+func (r *latencyRing) snapshot() LatencySnapshot {
+	r.mu.Lock()
+	n := int(r.count)
+	if n > ringSize {
+		n = ringSize
+	}
+	window := make([]float64, n)
+	copy(window, r.buf[:n])
+	count := r.count
+	r.mu.Unlock()
+	snap := LatencySnapshot{Count: count}
+	if n == 0 {
+		return snap
+	}
+	sort.Float64s(window)
+	// Nearest-rank percentiles over the window.
+	snap.P50 = window[(n-1)*50/100]
+	snap.P99 = window[(n-1)*99/100]
+	snap.Max = window[n-1]
+	return snap
+}

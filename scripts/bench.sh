@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# bench.sh [N] — run the core micro-benchmarks and write BENCH_<N>.json
-# (default N=1) in the repo root, seeding the per-PR perf trajectory.
+# bench.sh [N] — run the core micro-benchmarks plus the serving-layer load
+# benchmark and write BENCH_<N>.json (default N=1) in the repo root, seeding
+# the per-PR perf trajectory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -8,9 +9,15 @@ N="${1:-1}"
 OUT="BENCH_${N}.json"
 
 BENCHES='BenchmarkPrecedenceMatrix100x150|BenchmarkMakeMRFair90|BenchmarkMallowsSample90|BenchmarkPlackettLuce100k|BenchmarkAblationILSBordaInit|BenchmarkHeuristicRestartsW1|BenchmarkHeuristicRestartsW4'
+SCHULZE='BenchmarkSchulze500|BenchmarkSchulze500Dense'
 
-RAW="$(go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-1s}" .)"
+RAW="$(go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-1s}" .)
+$(go test -run '^$' -bench "$SCHULZE" -benchtime "${BENCHTIME:-1s}" ./internal/aggregate)"
 echo "$RAW"
+
+# Serving-layer benchmark: Zipf-skewed workload against an in-process
+# manirankd (throughput, cache hit rate, latency percentiles per skew).
+SERVING="$(go run ./cmd/experiments -serve-bench -seed 1)"
 
 {
   echo '{'
@@ -26,7 +33,9 @@ echo "$RAW"
     END {
       for (i = 1; i <= count; i++) printf "%s%s\n", lines[i], (i < count ? "," : "")
     }'
-  echo '  }'
+  echo '  },'
+  echo '  "serving":'
+  echo "$SERVING" | sed 's/^/  /'
   echo '}'
 } > "$OUT"
 

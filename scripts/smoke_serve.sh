@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# smoke_serve.sh — end-to-end serving smoke: build manirankd, start it, POST
+# a 20-candidate profile, assert 200 + a valid ranking, and assert the second
+# identical request is served from the cache. Used by CI's serve-smoke stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+go build -o /tmp/manirankd ./cmd/manirankd
+
+PORT="${SMOKE_PORT:-18080}"
+/tmp/manirankd -addr "127.0.0.1:${PORT}" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+BASE="http://127.0.0.1:${PORT}"
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 50 ]; then echo "server never became healthy" >&2; exit 1; fi
+  sleep 0.1
+done
+echo "healthz ok"
+
+# 20 candidates, alternating binary Gender, three base rankings.
+REQ='{
+  "method": "fair-kemeny",
+  "profile": [
+    [0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19],
+    [19,18,17,16,15,14,13,12,11,10,9,8,7,6,5,4,3,2,1,0],
+    [1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14,17,16,19,18]
+  ],
+  "attributes": [{
+    "name": "Gender",
+    "values": ["M", "W"],
+    "of": [0,1,0,1,0,1,0,1,0,1,0,1,0,1,0,1,0,1,0,1]
+  }],
+  "delta": 0.2
+}'
+
+FIRST="$(curl -sf -X POST "$BASE/v1/aggregate" -H 'Content-Type: application/json' -d "$REQ")"
+echo "first response: $FIRST"
+echo "$FIRST" | grep -q '"ranking":\[' || { echo "no ranking in response" >&2; exit 1; }
+# A valid 20-candidate ranking has exactly 20 comma-separated entries.
+COUNT="$(echo "$FIRST" | sed -n 's/.*"ranking":\[\([0-9,]*\)\].*/\1/p' | tr ',' '\n' | wc -l)"
+[ "$COUNT" = 20 ] || { echo "ranking has $COUNT entries, want 20" >&2; exit 1; }
+echo "$FIRST" | grep -q '"cached":false' || { echo "first request claimed a cache hit" >&2; exit 1; }
+echo "$FIRST" | grep -q '"partial":false' || { echo "first request was truncated" >&2; exit 1; }
+
+SECOND="$(curl -sf -X POST "$BASE/v1/aggregate" -H 'Content-Type: application/json' -d "$REQ")"
+echo "$SECOND" | grep -q '"cached":true' || { echo "second identical request missed the cache: $SECOND" >&2; exit 1; }
+
+# The two responses must carry the same consensus ranking.
+R1="$(echo "$FIRST" | sed -n 's/.*"ranking":\[\([0-9,]*\)\].*/\1/p')"
+R2="$(echo "$SECOND" | sed -n 's/.*"ranking":\[\([0-9,]*\)\].*/\1/p')"
+[ "$R1" = "$R2" ] || { echo "cache returned a different ranking" >&2; exit 1; }
+
+STATZ="$(curl -sf "$BASE/statz")"
+echo "statz: $STATZ"
+echo "$STATZ" | grep -q '"hits":1' || { echo "statz did not record the hit" >&2; exit 1; }
+
+echo "serve smoke ok"
