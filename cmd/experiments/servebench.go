@@ -11,13 +11,14 @@ import (
 	"runtime"
 
 	"manirank/internal/service"
+	"manirank/internal/service/cache"
 	"manirank/internal/service/loadgen"
 )
 
 // serveBenchReport is the BENCH_<n>.json "serving" section: one loadgen run
-// per Zipf skew against an in-process manirankd.
+// per (replacement policy, Zipf skew, method mix) cell against an
+// in-process manirankd.
 type serveBenchReport struct {
-	Method     string           `json:"method"`
 	Candidates int              `json:"candidates"`
 	Rankers    int              `json:"rankers"`
 	Profiles   int              `json:"distinct_profiles"`
@@ -27,14 +28,37 @@ type serveBenchReport struct {
 	Runs       []loadgen.Result `json:"runs"`
 }
 
+// serveCell is one sweep coordinate: replacement policy × method mix ×
+// popularity skew.
+type serveCell struct {
+	policy  string
+	methods []string
+	zipfS   float64
+}
+
+// serveSkews is the swept popularity range: uniform and the low-skew band
+// where replacement policy matters most (the hot set barely dominates, so
+// eviction decisions are consequential), up to strongly peaked traffic
+// where any policy holds the hot keys.
+var serveSkews = []float64{0, 0.5, 1.2, 2.0}
+
+// serveMethodMixes is the profile-reuse axis: a single-method workload
+// (every distinct profile is seen under exactly one request shape, so the
+// precedence tier only helps on result-cache evictions and coalesced
+// rebuilds) versus a four-method mix over the same profiles, where each
+// matrix is reusable by up to four distinct result-cache keys.
+var serveMethodMixes = [][]string{
+	{"fair-kemeny"},
+	{"borda", "copeland", "schulze", "fair-kemeny"},
+}
+
 // runServeBench boots the serving stack on a loopback listener and replays
-// the synthetic Mallows workload at several popularity skews: uniform
-// (every distinct profile equally likely — the cache's worst case at this
-// working-set size) through increasingly peaked Zipf popularity, where a
-// small hot set dominates and the hit rate should climb toward 1.
+// the synthetic Mallows workload across the full sweep: both replacement
+// policies, the Zipf skews in serveSkews (uniform is the cache's worst case
+// at this working-set size; at high skew the hit rate should climb toward
+// 1), and both method mixes.
 func runServeBench(seed int64, requests, clients, profiles, cacheSize int) error {
 	report := serveBenchReport{
-		Method:     "fair-kemeny",
 		Candidates: 60,
 		Rankers:    40,
 		Profiles:   profiles,
@@ -42,34 +66,43 @@ func runServeBench(seed int64, requests, clients, profiles, cacheSize int) error
 		CacheSize:  cacheSize,
 		Workers:    runtime.GOMAXPROCS(0),
 	}
-	for _, s := range []float64{0, 1.2, 2.0} {
-		res, err := serveBenchRun(report, seed, requests, s)
-		if err != nil {
-			return err
+	for _, methods := range serveMethodMixes {
+		for _, policy := range cache.Policies() {
+			for _, s := range serveSkews {
+				cell := serveCell{policy: policy, methods: methods, zipfS: s}
+				res, err := serveBenchRun(report, cell, seed, requests)
+				if err != nil {
+					return err
+				}
+				// 429s are legitimate backpressure under load; request errors
+				// mean the serving stack is broken — fail the run (CI's smoke
+				// relies on this exit code).
+				if res.Errors > 0 {
+					return fmt.Errorf("serve-bench policy=%s zipf_s=%.1f: %d request errors", policy, s, res.Errors)
+				}
+				report.Runs = append(report.Runs, res)
+				fmt.Fprintf(os.Stderr, "serve-bench policy=%s methods=%d zipf_s=%.1f: %.1f req/s, hit rate %.2f, matrix builds %d skipped %d, p50 %.1fms, p99 %.1fms (%d errors, %d rejected)\n",
+					policy, len(methods), s, res.Throughput, res.HitRate, res.MatrixBuilds, res.MatrixBuildsSkipped, res.P50LatencyMS, res.P99LatencyMS, res.Errors, res.Rejected)
+			}
 		}
-		// 429s are legitimate backpressure under load; request errors mean
-		// the serving stack is broken — fail the run (CI's smoke relies on
-		// this exit code).
-		if res.Errors > 0 {
-			return fmt.Errorf("serve-bench zipf_s=%.1f: %d request errors", s, res.Errors)
-		}
-		report.Runs = append(report.Runs, res)
-		fmt.Fprintf(os.Stderr, "serve-bench zipf_s=%.1f: %.1f req/s, hit rate %.2f, p50 %.1fms, p99 %.1fms (%d errors, %d rejected)\n",
-			s, res.Throughput, res.HitRate, res.P50LatencyMS, res.P99LatencyMS, res.Errors, res.Rejected)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
 }
 
-// serveBenchRun measures one skew setting against a FRESH server — each run
-// gets its own cold cache, so the per-skew hit rates are comparable rather
-// than inflated by entries the previous skew warmed.
-func serveBenchRun(report serveBenchReport, seed int64, requests int, zipfS float64) (loadgen.Result, error) {
-	srv := service.New(service.Config{
-		CacheSize: report.CacheSize,
-		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+// serveBenchRun measures one sweep cell against a FRESH server — each run
+// gets its own cold caches, so the per-cell hit rates are comparable rather
+// than inflated by entries a previous cell warmed.
+func serveBenchRun(report serveBenchReport, cell serveCell, seed int64, requests int) (loadgen.Result, error) {
+	srv, err := service.New(service.Config{
+		CacheSize:   report.CacheSize,
+		CachePolicy: cell.policy,
+		Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
+	if err != nil {
+		return loadgen.Result{}, err
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -78,13 +111,20 @@ func serveBenchRun(report serveBenchReport, seed int64, requests int, zipfS floa
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
-	return loadgen.Run(loadgen.Config{
+	res, err := loadgen.Run(loadgen.Config{
 		URL:      "http://" + ln.Addr().String(),
 		Clients:  report.Clients,
 		Requests: requests,
 		Profiles: report.Profiles,
-		ZipfS:    zipfS,
-		Method:   report.Method,
+		ZipfS:    cell.zipfS,
+		Methods:  cell.methods,
 		Seed:     seed,
 	})
+	if err != nil {
+		return res, err
+	}
+	if res.Policy != cell.policy {
+		return res, fmt.Errorf("serve-bench: server reported policy %q, want %q", res.Policy, cell.policy)
+	}
+	return res, nil
 }

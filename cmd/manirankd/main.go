@@ -1,8 +1,11 @@
 // Command manirankd serves MANI-Rank fair rank aggregation over HTTP: the
-// full solver family behind POST /v1/aggregate, with a digest-keyed LRU
-// result cache, single-flight request coalescing, a bounded admission queue
-// with 429 backpressure, per-request deadlines (best-so-far on expiry), and
-// /healthz + /statz observability endpoints.
+// full solver family behind POST /v1/aggregate, with a two-tier digest-keyed
+// cache (full-request results under a -cache-policy of lru or clock, plus a
+// profile-keyed precedence-matrix tier so different methods over the same
+// profile share the O(n²·m) construction), single-flight request
+// coalescing, a bounded admission queue with 429 backpressure, per-request
+// deadlines (best-so-far on expiry), and /healthz + /statz observability
+// endpoints.
 //
 // Quickstart:
 //
@@ -14,7 +17,8 @@
 //	  "delta": 0.4
 //	}'
 //
-// See DESIGN.md §6 for the serving architecture.
+// See DESIGN.md §6–§7 for the serving architecture and examples/serving for
+// a guided walkthrough of the API.
 package main
 
 import (
@@ -26,10 +30,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"manirank/internal/service"
+	"manirank/internal/service/cache"
 )
 
 func main() {
@@ -38,7 +44,9 @@ func main() {
 	workers := flag.Int("workers", 0, "solver pool width (0 = all CPUs)")
 	solverWorkers := flag.Int("solver-workers", 1, "restart shards per individual solve (kemeny.Options.Workers); keep 1 under concurrent load")
 	cacheSize := flag.Int("cache-size", 1024, "result cache capacity in entries (negative disables)")
+	cachePolicy := flag.String("cache-policy", cache.PolicyClock, "result cache replacement policy: "+strings.Join(cache.Policies(), "|"))
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache TTL (0 = never expire)")
+	precCacheMiB := flag.Int("prec-cache-mib", 16, "precedence-matrix cache budget in MiB (4 bytes per matrix cell; 0 disables)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request compute deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper bound on client-requested deadlines")
 	logLevel := flag.String("log-level", "info", "debug|info|warn|error")
@@ -51,16 +59,26 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	srv := service.New(service.Config{
+	precCells := int64(-1) // 0 MiB: storage off (builds still coalesce)
+	if *precCacheMiB > 0 {
+		precCells = int64(*precCacheMiB) << 20 / 4 // int32 cells
+	}
+	srv, err := service.New(service.Config{
 		QueueDepth:      *queue,
 		Workers:         *workers,
 		SolverWorkers:   *solverWorkers,
 		CacheSize:       *cacheSize,
+		CachePolicy:     *cachePolicy,
 		CacheTTL:        *cacheTTL,
+		PrecCacheCells:  precCells,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		Logger:          logger,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "manirankd:", err)
+		os.Exit(2)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})
@@ -80,7 +98,8 @@ func main() {
 		srv.Close()
 	}()
 
-	logger.Info("manirankd listening", "addr", *addr, "queue", *queue, "cache_size", *cacheSize)
+	logger.Info("manirankd listening", "addr", *addr, "queue", *queue,
+		"cache_size", *cacheSize, "cache_policy", *cachePolicy, "prec_cache_mib", *precCacheMiB)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "manirankd:", err)
 		os.Exit(1)

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# demo.sh — guided manirankd session: start the server, query two methods
+# over one profile, and show the precedence tier skipping the second matrix
+# build. See examples/serving/README.md for the API reference this walks.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+go build -o /tmp/manirankd-demo ./cmd/manirankd
+
+PORT="${DEMO_PORT:-18090}"
+/tmp/manirankd-demo -addr "127.0.0.1:${PORT}" -log-level warn &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+BASE="http://127.0.0.1:${PORT}"
+
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "server never became healthy" >&2; exit 1; }
+  sleep 0.1
+done
+
+# One 20-candidate profile with a binary protected attribute.
+PROFILE='[
+  [0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19],
+  [19,18,17,16,15,14,13,12,11,10,9,8,7,6,5,4,3,2,1,0],
+  [1,0,3,2,5,4,7,6,9,8,11,10,13,12,15,14,17,16,19,18]
+]'
+ATTRS='[{"name":"Gender","values":["M","W"],"of":[0,1,0,1,0,1,0,1,0,1,0,1,0,1,0,1,0,1,0,1]}]'
+
+req() { # req <method> [delta]
+  local method=$1 delta=${2:-}
+  local body="{\"method\":\"${method}\",\"profile\":${PROFILE},\"attributes\":${ATTRS}"
+  [ -n "$delta" ] && body="${body},\"delta\":${delta}"
+  body="${body}}"
+  curl -sf -X POST "$BASE/v1/aggregate" -H 'Content-Type: application/json' -d "$body"
+}
+
+echo "== 1. fair-kemeny (cold: solves, builds the precedence matrix) =="
+req fair-kemeny 0.2
+echo
+
+echo
+echo "== 2. schulze over the SAME profile (new solve, matrix build skipped) =="
+req schulze
+echo
+
+echo
+echo "== 3. fair-kemeny again (result-cache hit, no solver work) =="
+req fair-kemeny 0.2
+echo
+
+echo
+echo "== /statz: note precedence_cache.builds=1 and builds_skipped=1 =="
+curl -sf "$BASE/statz"
+echo

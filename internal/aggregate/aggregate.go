@@ -3,7 +3,12 @@
 // Borda, Copeland, Schulze, exact/heuristic Kemeny, and the fairness-aware
 // baselines Pick-A-Perm / Pick-Fairest-Perm / Kemeny-Weighted.
 //
-// All methods are deterministic: score ties break by ascending candidate id.
+// All methods are deterministic: score ties break by ascending candidate
+// id. The pairwise methods consume a precomputed ranking.Precedence, and
+// Borda has a matrix twin (BordaW, integer-identical point totals from row
+// sums), so every method composes with the serving layer's shared
+// precedence-matrix tier; KemenyCtx adds cooperative cancellation with a
+// best-so-far result for deadline-bounded serving.
 package aggregate
 
 import (
@@ -31,6 +36,22 @@ func Borda(p ranking.Profile) (ranking.Ranking, error) {
 		}
 	}
 	return ranking.SortByPointsDesc(points), nil
+}
+
+// BordaW returns the Borda consensus from a precomputed precedence matrix:
+// candidate c's Borda total equals |R|·(n-1) minus its row sum (the row sum
+// counts, over all rankings, how many candidates sit above c — exactly the
+// points c forfeits). The derived point totals are integer-identical to
+// Borda's, so the ranking — including tie-breaks — is too; the serving
+// layer's profile-keyed matrix tier relies on that equivalence to route
+// every method through one shared W.
+func BordaW(w *ranking.Precedence) ranking.Ranking {
+	n := w.N()
+	points := make([]int, n)
+	for c := 0; c < n; c++ {
+		points[c] = w.Rankings()*(n-1) - w.RowSum(c)
+	}
+	return ranking.SortByPointsDesc(points)
 }
 
 // Copeland returns the Copeland consensus: candidates ordered by descending

@@ -226,3 +226,22 @@ func TestBordaRejectsInvalidProfile(t *testing.T) {
 		t.Error("size mismatch accepted")
 	}
 }
+
+// TestBordaWMatchesBorda: the precedence-matrix Borda (row-sum derivation)
+// must be bitwise identical to the profile computation for every profile —
+// the equivalence the serving layer's shared matrix tier rests on.
+func TestBordaWMatchesBorda(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 2+rng.Intn(40), 1+rng.Intn(20)
+		p := randomProfile(n, m, rng)
+		direct, err := Borda(p)
+		if err != nil {
+			return false
+		}
+		return BordaW(ranking.MustPrecedence(p)).Equal(direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

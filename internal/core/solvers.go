@@ -28,6 +28,15 @@ func FairBorda(p ranking.Profile, targets []Target) (ranking.Ranking, error) {
 	return MakeMRFair(c, targets)
 }
 
+// FairBordaW is FairBorda on a precomputed precedence matrix: the Borda
+// totals derive from W's row sums (aggregate.BordaW), integer-identical to
+// the profile computation, so the repaired ranking matches FairBorda's
+// bitwise. It exists for callers that already hold W — the serving layer's
+// shared precedence tier in particular.
+func FairBordaW(w *ranking.Precedence, targets []Target) (ranking.Ranking, error) {
+	return MakeMRFair(aggregate.BordaW(w), targets)
+}
+
 // FairCopeland solves MFCR with the Copeland pairwise-contest aggregator
 // followed by Make-MR-Fair (paper Section III-B).
 func FairCopeland(p ranking.Profile, targets []Target) (ranking.Ranking, error) {

@@ -185,3 +185,26 @@ func TestFairSolversIndependentAudit(t *testing.T) {
 		t.Fatalf("audit violation: %v", rep.String())
 	}
 }
+
+// TestFairBordaWMatchesFairBorda: the precomputed-matrix entry point must be
+// bitwise identical to the profile one — the serving layer routes fair-borda
+// through the shared precedence tier on the strength of this.
+func TestFairBordaWMatchesFairBorda(t *testing.T) {
+	const n = 45
+	tab := testTable(t, n)
+	targets := Targets(tab, 0.15)
+	for seed := int64(1); seed <= 5; seed++ {
+		p, w := lowFairProfile(t, n, 16, 0.4, seed)
+		direct, err := FairBorda(p, targets)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fromW, err := FairBordaW(w, targets)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !fromW.Equal(direct) {
+			t.Fatalf("seed %d: FairBordaW diverged from FairBorda\n  W: %v\n  p: %v", seed, fromW, direct)
+		}
+	}
+}

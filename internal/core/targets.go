@@ -3,6 +3,14 @@
 // Algorithm 2), and the four MFCR solvers Fair-Kemeny, Fair-Copeland,
 // Fair-Schulze and Fair-Borda (paper Section III), plus the Price of
 // Fairness measure (Section III-C).
+//
+// Each Fair-* solver has a W-suffixed twin (FairBordaW, FairCopelandW,
+// FairSchulzeW, FairKemenyW) consuming a precomputed ranking.Precedence
+// instead of the raw profile, with bitwise-identical output — the entry
+// points the serving layer's shared precedence-matrix tier feeds so eight
+// methods over one profile pay one O(n²·m) construction. FairKemenyWCtx
+// additionally threads a context.Context through every search stage and
+// returns a feasible best-so-far ranking on cancellation.
 package core
 
 import (

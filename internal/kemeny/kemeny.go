@@ -13,6 +13,15 @@
 //     used at experiment scale (n = 90..500+).
 //   - ConstrainedLocalSearch: local search restricted to rankings satisfying
 //     fairness constraints, the large-n Fair-Kemeny engine.
+//
+// Every engine has a Ctx variant (HeuristicCtx, ConstrainedSearchCtx,
+// BranchAndBoundCtx) taking a context.Context for cooperative cancellation:
+// when the context is done mid-search the engine returns the best ranking
+// found so far — never nil, and for constrained engines always a feasible
+// one — which is how the serving layer turns request deadlines into
+// best-so-far answers. A never-cancelled context is bitwise identical to
+// the plain call. All engines consume a precomputed ranking.Precedence, so
+// they compose with the serving layer's shared matrix tier.
 package kemeny
 
 import (

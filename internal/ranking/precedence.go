@@ -196,6 +196,10 @@ func accumulateShard(w []int32, p Profile, weights []int, n int) {
 // N returns the number of candidates.
 func (w *Precedence) N() int { return w.n }
 
+// Cells returns the matrix's storage footprint in int32 cells (n²) — the
+// admission cost a memory-bounded matrix cache charges for holding w.
+func (w *Precedence) Cells() int64 { return int64(w.n) * int64(w.n) }
+
 // Rankings returns the (weighted) number of base rankings summarised.
 func (w *Precedence) Rankings() int { return w.m }
 

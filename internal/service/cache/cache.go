@@ -1,25 +1,37 @@
-// Package cache implements the serving layer's consensus result store: an
-// LRU map keyed by canonical request digests, with optional TTL expiry,
-// hit/miss/eviction counters, and single-flight request coalescing so any
-// number of concurrent identical requests trigger exactly one computation.
+// Package cache implements manirankd's two in-memory cache tiers.
+//
+// The first tier is the consensus result store (Cache): a map keyed by
+// canonical request digests behind a pluggable replacement Policy — classic
+// LRU or a Compact-CAR-style clock (see policy.go) — with optional TTL
+// expiry, hit/miss/eviction counters, and single-flight request coalescing
+// so any number of concurrent identical requests trigger exactly one
+// computation.
+//
+// The second tier is the precedence-matrix store (MatrixCache): profiles are
+// shared across methods, so the O(n²·m) matrix a profile compiles into is
+// keyed by the profile sub-digest and bounded by memory cost (n² cells per
+// entry) rather than entry count, again with single-flight coalescing on
+// builds (see matrix.go).
 //
 // Consensus rankings are expensive (Fair-Kemeny restarts) but perfectly
 // reusable — the solvers are deterministic per request, so a digest hit is
 // semantically identical to recomputing. Sizing follows the classic cache
-// performance analyses (Che approximation): with a Zipf-skewed request
-// popularity the hit ratio is governed by the cache-size/working-set ratio,
-// which the BENCH_3 load generator measures empirically at several skews.
+// performance analyses (Che approximation; Martina et al., arXiv:1307.6702):
+// with a Zipf-skewed request popularity the hit ratio is governed by the
+// cache-size/working-set ratio, which the BENCH_4 load generator measures
+// empirically per tier and per policy at several skews.
 package cache
 
 import (
-	"container/list"
 	"context"
 	"sync"
 	"time"
 )
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Stats is a point-in-time snapshot of the result-cache counters.
 type Stats struct {
+	// Policy names the replacement policy in use (PolicyLRU, PolicyClock).
+	Policy string `json:"policy"`
 	// Hits counts Do calls served from the store.
 	Hits uint64 `json:"hits"`
 	// Misses counts Do calls that had to compute (or join a computation).
@@ -27,7 +39,7 @@ type Stats struct {
 	// Coalesced counts Do calls that joined another caller's in-flight
 	// computation instead of starting their own (a subset of Misses).
 	Coalesced uint64 `json:"coalesced"`
-	// Evictions counts entries dropped by LRU capacity pressure.
+	// Evictions counts entries dropped by capacity pressure.
 	Evictions uint64 `json:"evictions"`
 	// Expirations counts entries dropped because their TTL elapsed.
 	Expirations uint64 `json:"expirations"`
@@ -46,9 +58,8 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// entry is one stored result on the LRU list.
+// entry is one stored result.
 type entry struct {
-	key      string
 	value    any
 	storedAt time.Time
 }
@@ -61,32 +72,47 @@ type flight struct {
 	err   error
 }
 
-// Cache is a thread-safe LRU + TTL result store with single-flight
-// coalescing. The zero value is not usable; construct with New.
+// Cache is a thread-safe result store with TTL expiry, a pluggable
+// replacement policy, and single-flight coalescing. The zero value is not
+// usable; construct with New or NewWithPolicy.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
 	ttl      time.Duration
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
+	policy   Policy
+	items    map[string]*entry
 	flights  map[string]*flight
 	now      func() time.Time
 
 	hits, misses, coalesced, evictions, expirations uint64
 }
 
-// New returns a cache holding up to capacity results for at most ttl each.
-// capacity <= 0 disables storage (coalescing still applies to concurrent
-// identical requests); ttl <= 0 disables expiry.
+// New returns an LRU cache holding up to capacity results for at most ttl
+// each. capacity <= 0 disables storage (coalescing still applies to
+// concurrent identical requests); ttl <= 0 disables expiry.
 func New(capacity int, ttl time.Duration) *Cache {
+	c, err := NewWithPolicy(capacity, ttl, PolicyLRU)
+	if err != nil {
+		panic(err) // unreachable: PolicyLRU always resolves
+	}
+	return c
+}
+
+// NewWithPolicy is New with an explicit replacement policy name (see
+// Policies). It fails only on an unknown policy name.
+func NewWithPolicy(capacity int, ttl time.Duration, policy string) (*Cache, error) {
+	p, err := NewPolicy(policy, capacity)
+	if err != nil {
+		return nil, err
+	}
 	return &Cache{
 		capacity: capacity,
 		ttl:      ttl,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
+		policy:   p,
+		items:    make(map[string]*entry),
 		flights:  make(map[string]*flight),
 		now:      time.Now,
-	}
+	}, nil
 }
 
 // SetClock replaces the cache's time source; tests use it to drive TTL
@@ -100,41 +126,37 @@ func (c *Cache) SetClock(now func() time.Time) {
 // lookupLocked returns the live cached value for key, expiring it first if
 // its TTL elapsed. Callers hold c.mu.
 func (c *Cache) lookupLocked(key string) (any, bool) {
-	el, ok := c.items[key]
+	e, ok := c.items[key]
 	if !ok {
 		return nil, false
 	}
-	e := el.Value.(*entry)
 	if c.ttl > 0 && c.now().Sub(e.storedAt) >= c.ttl {
-		c.ll.Remove(el)
 		delete(c.items, key)
+		c.policy.Forget(key)
 		c.expirations++
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
+	c.policy.Hit(key)
 	return e.value, true
 }
 
-// storeLocked inserts (or refreshes) key, evicting from the LRU tail while
-// over capacity. Callers hold c.mu.
+// storeLocked inserts (or refreshes) key, evicting the policy's victim when
+// the insertion overflows capacity. Callers hold c.mu.
 func (c *Cache) storeLocked(key string, value any) {
 	if c.capacity <= 0 {
 		return
 	}
-	if el, ok := c.items[key]; ok {
-		e := el.Value.(*entry)
+	if e, ok := c.items[key]; ok {
 		e.value = value
 		e.storedAt = c.now()
-		c.ll.MoveToFront(el)
+		c.policy.Hit(key)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&entry{key: key, value: value, storedAt: c.now()})
-	for c.ll.Len() > c.capacity {
-		tail := c.ll.Back()
-		c.ll.Remove(tail)
-		delete(c.items, tail.Value.(*entry).key)
+	if victim := c.policy.Add(key); victim != "" {
+		delete(c.items, victim)
 		c.evictions++
 	}
+	c.items[key] = &entry{value: value, storedAt: c.now()}
 }
 
 // Do returns the result for key: from the store on a hit, by joining an
@@ -200,12 +222,13 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
+		Policy:      c.policy.Name(),
 		Hits:        c.hits,
 		Misses:      c.misses,
 		Coalesced:   c.coalesced,
 		Evictions:   c.evictions,
 		Expirations: c.expirations,
-		Entries:     c.ll.Len(),
+		Entries:     len(c.items),
 		InFlight:    len(c.flights),
 	}
 }

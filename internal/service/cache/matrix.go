@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// MatrixStats is a point-in-time snapshot of a MatrixCache's counters.
+type MatrixStats struct {
+	// Hits counts Do calls served a stored matrix.
+	Hits uint64 `json:"hits"`
+	// Misses counts Do calls that found nothing stored (builds plus joins).
+	Misses uint64 `json:"misses"`
+	// Coalesced counts Do calls that joined another caller's in-flight build
+	// (a subset of Misses).
+	Coalesced uint64 `json:"coalesced"`
+	// Builds counts builder executions — the constructions actually paid.
+	Builds uint64 `json:"builds"`
+	// BuildsSkipped counts Do calls that returned a matrix without running
+	// the builder: Hits + Coalesced. This is the tier's reason to exist.
+	BuildsSkipped uint64 `json:"builds_skipped"`
+	// Evictions counts entries dropped under cost pressure.
+	Evictions uint64 `json:"evictions"`
+	// Rejected counts built values too large to admit at all (cost > budget).
+	Rejected uint64 `json:"rejected"`
+	// Entries is the current number of stored matrices.
+	Entries int `json:"entries"`
+	// CostUsed is the summed cost of the stored matrices (precedence
+	// matrices charge n² cells each).
+	CostUsed int64 `json:"cost_used"`
+	// CostBudget is the configured cost capacity.
+	CostBudget int64 `json:"cost_budget"`
+	// InFlight is the current number of leader builds running.
+	InFlight int `json:"in_flight"`
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
+func (s MatrixStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// matrixEntry is one stored value on the recency list.
+type matrixEntry struct {
+	key   string
+	value any
+	cost  int64
+}
+
+// matrixFlight is one in-progress build concurrent callers coalesce onto.
+type matrixFlight struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// MatrixCache is the serving layer's precedence-matrix tier: a thread-safe
+// store keyed by profile sub-digests whose admission is bounded by memory
+// cost rather than entry count — a precedence matrix costs n² cells, so ten
+// small profiles and one n=500 matrix are priced honestly against the same
+// budget — with single-flight coalescing so concurrent requests over the
+// same unseen profile run the O(n²·m) construction exactly once. Eviction
+// is least-recently-used over whole entries until the new entry fits.
+//
+// The zero value is not usable; construct with NewMatrixCache.
+type MatrixCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flights map[string]*matrixFlight
+
+	hits, misses, coalesced, builds, evictions, rejected uint64
+}
+
+// NewMatrixCache returns a matrix cache with the given cost budget (for
+// precedence matrices: total n² cells across entries). budget <= 0 disables
+// storage — builds still coalesce, so a burst of concurrent requests over
+// one profile pays one construction — making 0 the "cache off" switch the
+// equivalence tests compare against.
+func NewMatrixCache(budget int64) *MatrixCache {
+	return &MatrixCache{
+		budget:  budget,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*matrixFlight),
+	}
+}
+
+// Do returns the value for key: from the store on a hit, by joining an
+// identical in-flight build when one exists, and otherwise by running build
+// in the caller's goroutine. build returns (value, cost, err); successful
+// values are stored when their cost fits the budget after evicting from the
+// cold end. Unlike result-cache flights, followers always wait the build
+// out: a matrix build is a bounded O(n²·m) computation that does not consult
+// request deadlines, so the wait is short and the result is never partial.
+//
+// hit reports a store hit; shared reports the value came from another
+// caller's build.
+func (c *MatrixCache) Do(key string, build func() (value any, cost int64, err error)) (value any, hit, shared bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		v := el.Value.(*matrixEntry).value
+		c.mu.Unlock()
+		return v, true, false, nil
+	}
+	c.misses++
+	if f, ok := c.flights[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.value, false, true, f.err
+	}
+	f := &matrixFlight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	// Resolve the flight even if build panics, so followers never hang.
+	completed := false
+	defer func() {
+		if !completed {
+			c.finish(key, f, nil, 0, errMatrixBuildPanic)
+		}
+	}()
+	v, cost, berr := build()
+	completed = true
+	c.finish(key, f, v, cost, berr)
+	return v, false, false, berr
+}
+
+// errMatrixBuildPanic resolves a flight whose builder panicked; the panic
+// itself propagates to the leader's caller.
+var errMatrixBuildPanic = errorString("cache: matrix build panicked")
+
+// errorString is a trivial const-able error type.
+type errorString string
+
+// Error returns the error message.
+func (e errorString) Error() string { return string(e) }
+
+// finish publishes a build's outcome, stores successes that fit, and wakes
+// the followers.
+func (c *MatrixCache) finish(key string, f *matrixFlight, value any, cost int64, err error) {
+	c.mu.Lock()
+	if err == nil {
+		c.builds++
+		c.storeLocked(key, value, cost)
+	}
+	delete(c.flights, key)
+	c.mu.Unlock()
+	f.value, f.err = value, err
+	close(f.done)
+}
+
+// storeLocked admits (key, value) at the given cost, evicting from the LRU
+// tail until it fits. Values costing more than the whole budget are rejected
+// rather than flushing the tier for one entry. Callers hold c.mu.
+func (c *MatrixCache) storeLocked(key string, value any, cost int64) {
+	if c.budget <= 0 || cost > c.budget {
+		if c.budget > 0 {
+			c.rejected++
+		}
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*matrixEntry)
+		c.used += cost - e.cost
+		e.value, e.cost = value, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&matrixEntry{key: key, value: value, cost: cost})
+		c.used += cost
+	}
+	for c.used > c.budget {
+		tail := c.ll.Back()
+		e := tail.Value.(*matrixEntry)
+		c.ll.Remove(tail)
+		delete(c.items, e.key)
+		c.used -= e.cost
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *MatrixCache) Stats() MatrixStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MatrixStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Coalesced:     c.coalesced,
+		Builds:        c.builds,
+		BuildsSkipped: c.hits + c.coalesced,
+		Evictions:     c.evictions,
+		Rejected:      c.rejected,
+		Entries:       len(c.items),
+		CostUsed:      c.used,
+		CostBudget:    c.budget,
+		InFlight:      len(c.flights),
+	}
+}

@@ -1,0 +1,183 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mustMatrixDo runs a plain build and fails the test on error.
+func mustMatrixDo(t *testing.T, c *MatrixCache, key string, v any, cost int64) (any, bool) {
+	t.Helper()
+	got, hit, _, err := c.Do(key, func() (any, int64, error) { return v, cost, nil })
+	if err != nil {
+		t.Fatalf("Do(%q): %v", key, err)
+	}
+	return got, hit
+}
+
+func TestMatrixHitMiss(t *testing.T) {
+	c := NewMatrixCache(100)
+	if _, hit := mustMatrixDo(t, c, "a", 1, 10); hit {
+		t.Fatal("first access was a hit")
+	}
+	if v, hit := mustMatrixDo(t, c, "a", 2, 10); !hit || v.(int) != 1 {
+		t.Fatalf("second access: hit=%v v=%v, want stored 1", hit, v)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Builds != 1 || s.BuildsSkipped != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 build / 1 skipped", s)
+	}
+	if s.CostUsed != 10 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want cost 10 over 1 entry", s)
+	}
+}
+
+// TestMatrixCostBoundedEviction: admission is charged by cost, not entry
+// count — three 40-cost entries under a 100 budget keep only two, evicting
+// the least recently used, and the accounting balances.
+func TestMatrixCostBoundedEviction(t *testing.T) {
+	c := NewMatrixCache(100)
+	mustMatrixDo(t, c, "a", "A", 40)
+	mustMatrixDo(t, c, "b", "B", 40)
+	mustMatrixDo(t, c, "a", "", 40) // refresh a; b is now the cold end
+	mustMatrixDo(t, c, "c", "C", 40)
+	if _, hit := mustMatrixDo(t, c, "b", "B2", 40); hit {
+		t.Fatal("LRU victim b survived cost pressure")
+	}
+	s := c.Stats()
+	if s.Evictions != 2 { // c's insert evicted b; b's reinsert evicted a
+		t.Fatalf("evictions = %d, want 2", s.Evictions)
+	}
+	if s.CostUsed > s.CostBudget {
+		t.Fatalf("cost used %d exceeds budget %d", s.CostUsed, s.CostBudget)
+	}
+	if s.Entries != 2 || s.CostUsed != 80 {
+		t.Fatalf("stats = %+v, want 2 entries costing 80", s)
+	}
+}
+
+// TestMatrixRejectsOversize: a value costing more than the whole budget is
+// returned but never stored — one huge profile must not flush the tier.
+func TestMatrixRejectsOversize(t *testing.T) {
+	c := NewMatrixCache(100)
+	mustMatrixDo(t, c, "small", 1, 60)
+	if v, hit := mustMatrixDo(t, c, "huge", 2, 101); hit || v.(int) != 2 {
+		t.Fatalf("oversize build: hit=%v v=%v", hit, v)
+	}
+	if _, hit := mustMatrixDo(t, c, "huge", 3, 101); hit {
+		t.Fatal("oversize entry was stored")
+	}
+	if _, hit := mustMatrixDo(t, c, "small", -1, 60); !hit {
+		t.Fatal("oversize rejection disturbed the resident entry")
+	}
+	if s := c.Stats(); s.Rejected != 2 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 2 rejections and no evictions", s)
+	}
+}
+
+// TestMatrixDisabledStoresNothing: budget 0 turns storage off — the
+// "precedence cache off" switch of the equivalence tests (single-flight
+// coalescing is unaffected; TestMatrixSingleFlightCoalescing covers it).
+func TestMatrixDisabledStoresNothing(t *testing.T) {
+	c := NewMatrixCache(0)
+	mustMatrixDo(t, c, "a", 1, 10)
+	if _, hit := mustMatrixDo(t, c, "a", 2, 10); hit {
+		t.Fatal("disabled cache produced a hit")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.CostUsed != 0 || s.Rejected != 0 {
+		t.Fatalf("stats = %+v, want no storage and no rejection counting when disabled", s)
+	}
+}
+
+func TestMatrixBuildErrorNotStored(t *testing.T) {
+	c := NewMatrixCache(100)
+	boom := errors.New("boom")
+	if _, _, _, err := c.Do("a", func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, hit := mustMatrixDo(t, c, "a", 1, 10); hit {
+		t.Fatal("failed build was stored")
+	}
+	if s := c.Stats(); s.Builds != 1 {
+		t.Fatalf("builds = %d, want 1 (the successful retry only)", s.Builds)
+	}
+}
+
+// TestMatrixSingleFlightCoalescing is the concurrency contract, meaningful
+// under -race: many concurrent builds of one profile run the builder once,
+// everyone gets the leader's value, and the counters add up.
+func TestMatrixSingleFlightCoalescing(t *testing.T) {
+	const callers = 32
+	c := NewMatrixCache(100)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	values := make([]any, callers)
+	shareds := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, shared, err := c.Do("profile", func() (any, int64, error) {
+				builds.Add(1)
+				<-gate
+				return "matrix", 10, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			values[i], shareds[i] = v, shared
+		}(i)
+	}
+	// Release the leader only once every follower joined its flight, so the
+	// leader/coalesced accounting below is deterministic on any scheduler.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Coalesced != callers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d callers coalesced within 10s", c.Stats().Coalesced, callers-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builder ran %d times, want 1", n)
+	}
+	leaders := 0
+	for i, v := range values {
+		if v.(string) != "matrix" {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d callers led the build, want exactly 1", leaders)
+	}
+	s := c.Stats()
+	if s.Misses != callers || s.Coalesced != callers-1 || s.Builds != 1 || s.InFlight != 0 {
+		t.Fatalf("stats = %+v, want %d misses / %d coalesced / 1 build", s, callers, callers-1)
+	}
+	if s.BuildsSkipped != callers-1 {
+		t.Fatalf("builds skipped = %d, want %d", s.BuildsSkipped, callers-1)
+	}
+}
+
+// TestMatrixStatsHitRate pins the derived ratio.
+func TestMatrixStatsHitRate(t *testing.T) {
+	c := NewMatrixCache(1000)
+	for i := 0; i < 4; i++ {
+		mustMatrixDo(t, c, fmt.Sprintf("k%d", i%2), i, 5)
+	}
+	if hr := c.Stats().HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %g, want 0.5", hr)
+	}
+	if hr := (MatrixStats{}).HitRate(); hr != 0 {
+		t.Fatalf("empty hit rate = %g, want 0", hr)
+	}
+}

@@ -10,22 +10,46 @@ import (
 	"strings"
 )
 
-// digestVersion namespaces the digest; bump it whenever the canonical
+// digestVersion namespaces both digests; bump it whenever a canonical
 // serialisation below or the solvers' deterministic behaviour changes, so
-// stale cached results can never be served across an upgrade.
-const digestVersion = "manirankd/v1"
+// stale cached results (or matrices) can never be served across an upgrade.
+// v2 split the profile sub-digest out of the request digest for the
+// precedence-matrix tier.
+const digestVersion = "manirankd/v2"
 
-// Digest returns the canonical cache key of an aggregate request: a SHA-256
-// over a fixed-order serialisation of every request field that influences
-// the result — method, solver options, fairness thresholds (sorted by name,
-// so Go's randomised map iteration order can never perturb the key),
-// attributes, and the profile. DeadlineMillis is deliberately excluded: the
-// deadline changes how long we are willing to search, not what the request
-// asks for, and truncated (partial) results are never cached.
-//
-// The digest is stable across processes and runs; two structurally equal
-// requests always collide and any semantic difference separates them.
+// Digest returns the full request digest of req (see Digests).
 func Digest(req *AggregateRequest) string {
+	full, _ := Digests(req)
+	return full
+}
+
+// Digests returns the two canonical cache keys of an aggregate request.
+//
+// The profile sub-digest covers exactly the base rankings — the only input
+// the precedence matrix W depends on — so it keys the serving layer's
+// matrix tier: any method queried over an already-seen profile shares the
+// stored W regardless of solver options, thresholds, or attributes.
+//
+// The full digest is a SHA-256 over a fixed-order serialisation of every
+// request field that influences the result — method, solver options,
+// fairness thresholds (sorted by name, so Go's randomised map iteration
+// order can never perturb the key), attributes, and the profile (folded in
+// as the profile sub-digest, hashed once). DeadlineMillis is deliberately
+// excluded: the deadline changes how long we are willing to search, not
+// what the request asks for, and truncated (partial) results are never
+// cached.
+//
+// Both digests are stable across processes and runs; two structurally equal
+// requests always collide and any semantic difference separates them.
+func Digests(req *AggregateRequest) (full, profile string) {
+	ph := sha256.New()
+	writeString(ph, digestVersion+"/profile")
+	writeInt(ph, int64(len(req.Profile)))
+	for _, row := range req.Profile {
+		writeInts(ph, row)
+	}
+	profile = hex.EncodeToString(ph.Sum(nil))
+
 	h := sha256.New()
 	writeString(h, digestVersion)
 	writeString(h, strings.ToLower(req.Method))
@@ -71,11 +95,8 @@ func Digest(req *AggregateRequest) string {
 		writeInts(h, a.Of)
 	}
 
-	writeInt(h, int64(len(req.Profile)))
-	for _, row := range req.Profile {
-		writeInts(h, row)
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	writeString(h, profile)
+	return hex.EncodeToString(h.Sum(nil)), profile
 }
 
 // writeString writes a length-prefixed string, so no concatenation of

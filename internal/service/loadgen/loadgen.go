@@ -1,11 +1,14 @@
 // Package loadgen drives a manirankd instance with a synthetic serving
-// workload: a pool of distinct Mallows-profile requests whose popularity
-// follows a configurable Zipf skew, replayed by concurrent closed-loop
-// clients. It measures end-to-end throughput, latency percentiles, and the
-// cache hit rate — the empirical counterpart to the Che-approximation view
-// of cache sizing: hit rate is a function of cache capacity versus the
-// skew-weighted working set, so sweeping the Zipf exponent maps the serving
-// layer's useful operating range.
+// workload: a pool of distinct Mallows profiles whose popularity follows a
+// configurable Zipf skew, each optionally queried under several consensus
+// methods (the profile-reuse axis that exercises the precedence-matrix
+// tier), replayed by concurrent closed-loop clients. It measures end-to-end
+// throughput, latency percentiles, and the per-tier cache hit rates — the
+// empirical counterpart to the Che-approximation view of cache sizing
+// (Martina et al., arXiv:1307.6702): hit rate is a function of cache
+// capacity versus the skew-weighted working set, so sweeping the Zipf
+// exponent and the replacement policy maps the serving layer's useful
+// operating range.
 package loadgen
 
 import (
@@ -13,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -32,19 +36,22 @@ type Config struct {
 	Clients int
 	// Requests is the total request count across all clients (default 400).
 	Requests int
-	// Profiles is the number of distinct request bodies in the pool
-	// (default 50) — the working-set size the cache contends with.
+	// Profiles is the number of distinct profiles in the pool (default 50) —
+	// the working-set size the caches contend with.
 	Profiles int
-	// ZipfS is the popularity skew exponent; 0 draws uniformly, otherwise
-	// it must be > 1 (math/rand's Zipf domain) and larger means hotter hot
-	// keys (default 0).
+	// ZipfS is the popularity skew exponent: profile k (0-based) is drawn
+	// with probability proportional to 1/(k+1)^s. 0 draws uniformly; any
+	// s > 0 is accepted (default 0).
 	ZipfS float64
 	// Candidates and Rankers size each synthetic profile (defaults 60, 40).
 	Candidates, Rankers int
 	// Theta is the Mallows spread of every profile (default 0.4).
 	Theta float64
-	// Method is the consensus method requested (default "fair-kemeny").
-	Method string
+	// Methods is the consensus-method mix: each request pairs its popular
+	// profile with a uniformly drawn method, so len(Methods) is the
+	// profile-reuse factor the precedence tier amortises (default
+	// [fair-kemeny]).
+	Methods []string
 	// Delta is the fairness threshold for fair methods (default 0.2).
 	Delta float64
 	// DeadlineMillis is attached to every request (default 0: server
@@ -73,8 +80,8 @@ func (c Config) withDefaults() Config {
 	if c.Theta == 0 {
 		c.Theta = 0.4
 	}
-	if c.Method == "" {
-		c.Method = "fair-kemeny"
+	if len(c.Methods) == 0 {
+		c.Methods = []string{"fair-kemeny"}
 	}
 	if c.Delta == 0 {
 		c.Delta = 0.2
@@ -84,21 +91,31 @@ func (c Config) withDefaults() Config {
 
 // Result summarises one load run.
 type Result struct {
-	ZipfS        float64 `json:"zipf_s"`
-	Requests     int     `json:"requests"`
-	Errors       int     `json:"errors"`
-	Rejected     int     `json:"rejected_429"`
-	DurationS    float64 `json:"duration_s"`
-	Throughput   float64 `json:"throughput_rps"`
-	HitRate      float64 `json:"cache_hit_rate"`
-	Coalesced    int     `json:"coalesced"`
-	P50LatencyMS float64 `json:"p50_latency_ms"`
-	P99LatencyMS float64 `json:"p99_latency_ms"`
+	ZipfS        float64  `json:"zipf_s"`
+	Policy       string   `json:"cache_policy"`
+	Methods      []string `json:"methods"`
+	Requests     int      `json:"requests"`
+	Errors       int      `json:"errors"`
+	Rejected     int      `json:"rejected_429"`
+	DurationS    float64  `json:"duration_s"`
+	Throughput   float64  `json:"throughput_rps"`
+	HitRate      float64  `json:"cache_hit_rate"`
+	Coalesced    int      `json:"coalesced"`
+	P50LatencyMS float64  `json:"p50_latency_ms"`
+	P99LatencyMS float64  `json:"p99_latency_ms"`
+	// The precedence-tier columns come from the server's /statz snapshot
+	// taken at the end of the run (each bench run talks to a fresh server,
+	// so the counters cover exactly this workload).
+	MatrixBuilds        uint64  `json:"matrix_builds"`
+	MatrixBuildsSkipped uint64  `json:"matrix_builds_skipped"`
+	MatrixHitRate       float64 `json:"matrix_hit_rate"`
 }
 
 // buildPool generates the distinct request bodies, pre-marshalled once —
-// the generator must not bottleneck the server being measured.
-func buildPool(cfg Config) ([][]byte, error) {
+// the generator must not bottleneck the server being measured. pool[i][j]
+// is profile i under method j: same profile bytes, different method field,
+// so the bodies collide on the profile sub-digest but not the full digest.
+func buildPool(cfg Config) ([][][]byte, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	gender := make([]int, cfg.Candidates)
 	region := make([]int, cfg.Candidates)
@@ -106,7 +123,7 @@ func buildPool(cfg Config) ([][]byte, error) {
 		gender[c] = c % 2
 		region[c] = (c / 2) % 3
 	}
-	pool := make([][]byte, cfg.Profiles)
+	pool := make([][][]byte, cfg.Profiles)
 	for i := range pool {
 		modal := ranking.Random(cfg.Candidates, rng)
 		p := mallows.MustNewPlackettLuce(modal, cfg.Theta).SampleProfile(cfg.Rankers, rng)
@@ -114,36 +131,64 @@ func buildPool(cfg Config) ([][]byte, error) {
 		for j, r := range p {
 			profile[j] = r
 		}
-		req := &service.AggregateRequest{
-			Method:  cfg.Method,
-			Profile: profile,
-			Attributes: []service.AttributeSpec{
-				{Name: "Gender", Values: []string{"M", "W"}, Of: gender},
-				{Name: "Region", Values: []string{"N", "C", "S"}, Of: region},
-			},
-			Delta:          cfg.Delta,
-			DeadlineMillis: cfg.DeadlineMillis,
+		pool[i] = make([][]byte, len(cfg.Methods))
+		for j, method := range cfg.Methods {
+			req := &service.AggregateRequest{
+				Method:  method,
+				Profile: profile,
+				Attributes: []service.AttributeSpec{
+					{Name: "Gender", Values: []string{"M", "W"}, Of: gender},
+					{Name: "Region", Values: []string{"N", "C", "S"}, Of: region},
+				},
+				Delta:          cfg.Delta,
+				DeadlineMillis: cfg.DeadlineMillis,
+			}
+			blob, err := json.Marshal(req)
+			if err != nil {
+				return nil, err
+			}
+			pool[i][j] = blob
 		}
-		blob, err := json.Marshal(req)
-		if err != nil {
-			return nil, err
-		}
-		pool[i] = blob
 	}
 	return pool, nil
 }
 
-// picker returns a popularity sampler over [0, n): Zipf-skewed for s > 1,
-// uniform for s == 0.
+// picker returns a popularity sampler over [0, n): index k is drawn with
+// probability proportional to 1/(k+1)^s via inverse-CDF over the finite
+// population, so any skew s >= 0 works — including the 0 < s <= 1 band
+// math/rand's infinite-support Zipf cannot express — and s == 0 degrades to
+// uniform.
 func picker(s float64, n int, rng *rand.Rand) (func() int, error) {
+	if s < 0 {
+		return nil, fmt.Errorf("loadgen: ZipfS must be >= 0, got %g", s)
+	}
 	if s == 0 {
 		return func() int { return rng.Intn(n) }, nil
 	}
-	if s <= 1 {
-		return nil, fmt.Errorf("loadgen: ZipfS must be 0 (uniform) or > 1, got %g", s)
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		cum[k] = total
 	}
-	z := rand.NewZipf(rng, s, 1, uint64(n-1))
-	return func() int { return int(z.Uint64()) }, nil
+	return func() int {
+		u := rng.Float64() * total
+		return sort.SearchFloat64s(cum, u)
+	}, nil
+}
+
+// fetchStatz snapshots the server's /statz for the per-tier counters.
+func fetchStatz(url string) (service.Statz, error) {
+	var st service.Statz
+	resp, err := http.Get(url + "/statz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("loadgen: statz status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
 // Run replays the workload and reports the measured serving behaviour.
@@ -184,8 +229,15 @@ func Run(cfg Config) (Result, error) {
 				return
 			}
 			for i := 0; i < perClient; i++ {
+				m := 0
+				if len(cfg.Methods) > 1 {
+					m = rng.Intn(len(cfg.Methods))
+				}
+				// Single-method runs draw exactly the BENCH_3 request stream
+				// (profile picks only), keeping per-PR hit rates comparable.
+				body := pool[pick()][m]
 				reqStart := time.Now()
-				resp, err := client.Post(cfg.URL+"/v1/aggregate", "application/json", bytes.NewReader(pool[pick()]))
+				resp, err := client.Post(cfg.URL+"/v1/aggregate", "application/json", bytes.NewReader(body))
 				if err != nil {
 					mu.Lock()
 					errs++
@@ -220,6 +272,7 @@ func Run(cfg Config) (Result, error) {
 	elapsed := time.Since(start)
 	res := Result{
 		ZipfS:     cfg.ZipfS,
+		Methods:   cfg.Methods,
 		Requests:  total,
 		Errors:    errs,
 		Rejected:  rejected,
@@ -235,5 +288,16 @@ func Run(cfg Config) (Result, error) {
 		res.P50LatencyMS = latencies[(n-1)*50/100]
 		res.P99LatencyMS = latencies[(n-1)*99/100]
 	}
+	st, err := fetchStatz(cfg.URL)
+	if err != nil {
+		// The workload completed; losing the per-tier columns silently would
+		// record zeroed bench data, so fail loudly alongside the partial
+		// result.
+		return res, fmt.Errorf("loadgen: fetching statz after the run: %w", err)
+	}
+	res.Policy = st.Cache.Policy
+	res.MatrixBuilds = st.Matrix.Builds
+	res.MatrixBuildsSkipped = st.Matrix.BuildsSkipped
+	res.MatrixHitRate = st.Matrix.HitRate()
 	return res, nil
 }

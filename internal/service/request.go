@@ -74,13 +74,17 @@ func (req *AggregateRequest) IsFair() bool {
 }
 
 // problem is a validated, solver-ready request: the domain objects every
-// method consumes.
+// method consumes, plus the two cache keys (computed once here — the full
+// request digest for the result tier, the profile sub-digest for the
+// precedence-matrix tier).
 type problem struct {
-	method  string
-	profile ranking.Profile
-	tab     *attribute.Table // nil when no attributes were given
-	targets []core.Target    // nil for unfair methods
-	opts    SolverOptions
+	method     string
+	profile    ranking.Profile
+	tab        *attribute.Table // nil when no attributes were given
+	targets    []core.Target    // nil for unfair methods
+	opts       SolverOptions
+	digest     string // full request digest (result-cache key)
+	profDigest string // profile sub-digest (matrix-cache key)
 }
 
 // interThresholdKey matches a Thresholds entry addressing the intersection
@@ -114,6 +118,7 @@ func buildProblem(req *AggregateRequest) (*problem, error) {
 	n := p.N()
 
 	pb := &problem{method: method, profile: p, opts: req.Options}
+	pb.digest, pb.profDigest = Digests(req)
 	if len(req.Attributes) > 0 {
 		attrs := make([]*attribute.Attribute, len(req.Attributes))
 		for i, spec := range req.Attributes {

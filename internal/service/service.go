@@ -2,17 +2,23 @@
 // MANI-Rank solvers with three server-grade layers on top of the compute
 // core —
 //
-//  1. a canonical-digest LRU result cache with single-flight coalescing
-//     (internal/service/cache): identical concurrent requests compute once,
-//     repeated requests are served from memory;
+//  1. two cache tiers (internal/service/cache), both keyed by canonical
+//     SHA-256 digests and both single-flight coalesced: a result cache over
+//     the full request digest (pluggable LRU or Compact-CAR-style clock
+//     replacement, Config.CachePolicy) so identical requests compute once,
+//     and a precedence-matrix cache over the profile sub-digest so
+//     *different* methods or solver options over an already-seen profile
+//     skip the O(n²·m) matrix construction — admission is bounded by memory
+//     cost (n² cells per matrix), not entry count;
 //  2. admission and scheduling: a bounded job queue feeding a fixed solver
 //     worker pool, per-request deadlines threaded as context.Context into
 //     the Kemeny/Fair-Kemeny restart loops (best-so-far on expiry), and
 //     backpressure (HTTP 429) when the queue is full;
-//  3. observability: /statz (queue depth, in-flight solves, cache counters,
-//     p50/p99 latency rings) and structured request logging.
+//  3. observability: /statz (queue depth, in-flight solves, per-tier cache
+//     counters including matrix builds skipped, p50/p99 latency rings) and
+//     structured request logging.
 //
-// See DESIGN.md §6 for the queue → cache → solver architecture.
+// See DESIGN.md §6–§7 for the queue → caches → solver architecture.
 package service
 
 import (
@@ -49,11 +55,19 @@ type Config struct {
 	// pool owns the machine's parallelism, and restart pools per solve would
 	// oversubscribe it — the same reasoning as the experiment harness.
 	SolverWorkers int
-	// CacheSize is the LRU result capacity in entries (default 1024;
+	// CacheSize is the result-cache capacity in entries (default 1024;
 	// negative disables caching).
 	CacheSize int
+	// CachePolicy selects the result cache's replacement policy:
+	// cache.PolicyClock (default) or cache.PolicyLRU.
+	CachePolicy string
 	// CacheTTL expires cached results (default 0: never).
 	CacheTTL time.Duration
+	// PrecCacheCells budgets the precedence-matrix tier in matrix cells (a
+	// profile over n candidates costs n² cells ≈ 4n² bytes). Default
+	// DefaultPrecCacheCells; negative disables storage (builds still
+	// coalesce).
+	PrecCacheCells int64
 	// DefaultDeadline caps a solve when the request doesn't set deadline_ms
 	// (default 30s).
 	DefaultDeadline time.Duration
@@ -78,6 +92,15 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
 	}
+	if c.CachePolicy == "" {
+		c.CachePolicy = cache.PolicyClock
+	}
+	if c.PrecCacheCells == 0 {
+		c.PrecCacheCells = DefaultPrecCacheCells
+	}
+	if c.PrecCacheCells < 0 {
+		c.PrecCacheCells = 0 // MatrixCache treats 0 as storage off
+	}
 	if c.DefaultDeadline == 0 {
 		c.DefaultDeadline = 30 * time.Second
 	}
@@ -92,6 +115,10 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// DefaultPrecCacheCells is the default precedence-tier budget: 4M int32
+// cells ≈ 16 MiB, room for ~16 n=500 matrices or ~1100 n=60 ones.
+const DefaultPrecCacheCells = 4 << 20
 
 // Errors the admission layer maps to HTTP statuses.
 var (
@@ -154,6 +181,7 @@ func (j *job) abandon() bool { return j.state.CompareAndSwap(0, 2) }
 type Server struct {
 	cfg     Config
 	cache   *cache.Cache
+	prec    *cache.MatrixCache
 	jobs    chan *job
 	quit    chan struct{}
 	wg      sync.WaitGroup
@@ -168,12 +196,18 @@ type Server struct {
 	closeOnce sync.Once
 }
 
-// New starts a Server's worker pool and returns it.
-func New(cfg Config) *Server {
+// New starts a Server's worker pool and returns it. It fails only on an
+// unknown Config.CachePolicy.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	results, err := cache.NewWithPolicy(cfg.CacheSize, cfg.CacheTTL, cfg.CachePolicy)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:     cfg,
-		cache:   cache.New(cfg.CacheSize, cfg.CacheTTL),
+		cache:   results,
+		prec:    cache.NewMatrixCache(cfg.PrecCacheCells),
 		jobs:    make(chan *job, cfg.QueueDepth),
 		quit:    make(chan struct{}),
 		log:     cfg.Logger,
@@ -183,7 +217,7 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Close drains the solver pool: workers finish their current job and exit,
@@ -248,47 +282,66 @@ func (s *Server) kemenyOptions(o SolverOptions) aggregate.KemenyOptions {
 	}
 }
 
+// precedence returns the problem's precedence matrix through the shared
+// matrix tier: keyed by the profile sub-digest, so any method over an
+// already-seen profile reuses the stored W, and concurrent first sights of
+// one profile build it exactly once. The matrix is immutable once built —
+// every solver only reads it — which is what makes sharing across worker
+// goroutines sound.
+func (s *Server) precedence(pb *problem) (*ranking.Precedence, error) {
+	v, _, _, err := s.prec.Do(pb.profDigest, func() (any, int64, error) {
+		w, err := ranking.NewPrecedence(pb.profile)
+		if err != nil {
+			return nil, 0, err
+		}
+		return w, w.Cells(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ranking.Precedence), nil
+}
+
 // solve runs one problem on the compute core. ctx carries the request
 // deadline; the Kemeny engines return best-so-far on expiry, so a partial
 // result is still a valid (and for fair methods, feasible) ranking.
+//
+// Every method — Borda included — consumes the shared precedence matrix:
+// BordaW / FairBordaW derive integer-identical point totals from W's row
+// sums, so routing through the tier never changes an answer, and the
+// PD-loss reported below divides the same integers whether computed from W
+// or from the raw profile. (A Borda-only workload pays one O(n²·m) build on
+// a cold profile where O(n·m) would do; the tier amortises it across every
+// later method and request on that profile.)
 func (s *Server) solve(ctx context.Context, pb *problem) (*result, error) {
+	w, err := s.precedence(pb)
+	if err != nil {
+		return nil, err
+	}
 	kopts := s.kemenyOptions(pb.opts)
 	var (
 		r       ranking.Ranking
-		err     error
 		partial bool
 	)
 	switch pb.method {
 	case "borda":
-		r, err = aggregate.Borda(pb.profile)
+		r = aggregate.BordaW(w)
 	case "copeland":
-		var w *ranking.Precedence
-		if w, err = ranking.NewPrecedence(pb.profile); err == nil {
-			r = aggregate.Copeland(w)
-		}
+		r = aggregate.Copeland(w)
 	case "schulze":
-		var w *ranking.Precedence
-		if w, err = ranking.NewPrecedence(pb.profile); err == nil {
-			r = aggregate.Schulze(w)
-		}
+		r = aggregate.Schulze(w)
 	case "kemeny":
-		var w *ranking.Precedence
-		if w, err = ranking.NewPrecedence(pb.profile); err == nil {
-			r = aggregate.KemenyCtx(ctx, w, kopts)
-			partial = ctx.Err() != nil
-		}
+		r = aggregate.KemenyCtx(ctx, w, kopts)
+		partial = ctx.Err() != nil
 	case "fair-borda":
-		r, err = core.FairBorda(pb.profile, pb.targets)
+		r, err = core.FairBordaW(w, pb.targets)
 	case "fair-copeland":
-		r, err = core.FairCopeland(pb.profile, pb.targets)
+		r, err = core.FairCopelandW(w, pb.targets)
 	case "fair-schulze":
-		r, err = core.FairSchulze(pb.profile, pb.targets)
+		r, err = core.FairSchulzeW(w, pb.targets)
 	case "fair-kemeny":
-		var w *ranking.Precedence
-		if w, err = ranking.NewPrecedence(pb.profile); err == nil {
-			r, err = core.FairKemenyWCtx(ctx, w, pb.targets, core.Options{Kemeny: kopts})
-			partial = err == nil && ctx.Err() != nil
-		}
+		r, err = core.FairKemenyWCtx(ctx, w, pb.targets, core.Options{Kemeny: kopts})
+		partial = err == nil && ctx.Err() != nil
 	default:
 		err = fmt.Errorf("service: unreachable method %q", pb.method)
 	}
@@ -298,7 +351,7 @@ func (s *Server) solve(ctx context.Context, pb *problem) (*result, error) {
 	res := &result{
 		Ranking: r,
 		Method:  pb.method,
-		PDLoss:  ranking.PDLoss(pb.profile, r),
+		PDLoss:  w.PDLoss(r),
 		// partial was sampled immediately after the cancellable engines
 		// returned (only the Kemeny-based methods react to ctx; the
 		// polynomial methods always run to completion, so a deadline that
@@ -405,7 +458,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, err, start)
 		return
 	}
-	digest := Digest(&req)
+	digest := pb.digest
 	budget := s.deadline(&req)
 
 	// Followers wait at most their own budget for the leader's flight.
@@ -473,6 +526,8 @@ type Statz struct {
 	Queue         QueueStatz        `json:"queue"`
 	Cache         cache.Stats       `json:"cache"`
 	CacheHitRate  float64           `json:"cache_hit_rate"`
+	Matrix        cache.MatrixStats `json:"precedence_cache"`
+	MatrixHitRate float64           `json:"precedence_hit_rate"`
 	Requests      map[string]uint64 `json:"requests_by_status"`
 	LatencySolve  LatencySnapshot   `json:"latency_solve"`
 	LatencyHit    LatencySnapshot   `json:"latency_hit"`
@@ -490,6 +545,7 @@ type QueueStatz struct {
 // generator and tests).
 func (s *Server) StatzSnapshot() Statz {
 	cs := s.cache.Stats()
+	ms := s.prec.Stats()
 	st := Statz{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Queue: QueueStatz{
@@ -498,11 +554,13 @@ func (s *Server) StatzSnapshot() Statz {
 			InFlight: s.inFlight.Load(),
 			Workers:  s.cfg.Workers,
 		},
-		Cache:        cs,
-		CacheHitRate: cs.HitRate(),
-		Requests:     map[string]uint64{},
-		LatencySolve: s.solveLat.snapshot(),
-		LatencyHit:   s.hitLat.snapshot(),
+		Cache:         cs,
+		CacheHitRate:  cs.HitRate(),
+		Matrix:        ms,
+		MatrixHitRate: ms.HitRate(),
+		Requests:      map[string]uint64{},
+		LatencySolve:  s.solveLat.snapshot(),
+		LatencyHit:    s.hitLat.snapshot(),
 	}
 	s.byStatus.Range(func(k, v any) bool {
 		st.Requests[strconv.Itoa(k.(int))] = uint64(v.(*atomic.Int64).Load())

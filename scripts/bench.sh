@@ -15,8 +15,10 @@ RAW="$(go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-1s}" .)
 $(go test -run '^$' -bench "$SCHULZE" -benchtime "${BENCHTIME:-1s}" ./internal/aggregate)"
 echo "$RAW"
 
-# Serving-layer benchmark: Zipf-skewed workload against an in-process
-# manirankd (throughput, cache hit rate, latency percentiles per skew).
+# Serving-layer benchmark: the full sweep against an in-process manirankd —
+# replacement policy {lru, clock} x Zipf skew {0, 0.5, 1.2, 2.0} x method
+# mix {1, 4 methods over the same profiles} — reporting throughput, both
+# cache tiers' hit/build counters, and latency percentiles per cell.
 SERVING="$(go run ./cmd/experiments -serve-bench -seed 1)"
 
 {

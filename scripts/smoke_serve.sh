@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # smoke_serve.sh — end-to-end serving smoke: build manirankd, start it, POST
-# a 20-candidate profile, assert 200 + a valid ranking, and assert the second
-# identical request is served from the cache. Used by CI's serve-smoke stage.
+# a 20-candidate profile, assert 200 + a valid ranking, assert the second
+# identical request is served from the result cache, and assert a different
+# method over the same profile skips the precedence-matrix build (the
+# two-tier contract). Used by CI's serve-smoke stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,8 +56,18 @@ R1="$(echo "$FIRST" | sed -n 's/.*"ranking":\[\([0-9,]*\)\].*/\1/p')"
 R2="$(echo "$SECOND" | sed -n 's/.*"ranking":\[\([0-9,]*\)\].*/\1/p')"
 [ "$R1" = "$R2" ] || { echo "cache returned a different ranking" >&2; exit 1; }
 
+# A different method over the SAME profile: a result-cache miss that must
+# reuse the stored precedence matrix (builds_skipped > 0 in /statz).
+SCHULZE_REQ="$(echo "$REQ" | sed 's/"fair-kemeny"/"schulze"/')"
+THIRD="$(curl -sf -X POST "$BASE/v1/aggregate" -H 'Content-Type: application/json' -d "$SCHULZE_REQ")"
+echo "$THIRD" | grep -q '"cached":false' || { echo "different method claimed a result-cache hit" >&2; exit 1; }
+echo "$THIRD" | grep -q '"ranking":\[' || { echo "no ranking in schulze response" >&2; exit 1; }
+
 STATZ="$(curl -sf "$BASE/statz")"
 echo "statz: $STATZ"
-echo "$STATZ" | grep -q '"hits":1' || { echo "statz did not record the hit" >&2; exit 1; }
+echo "$STATZ" | grep -q '"hits":1' || { echo "statz did not record the result-cache hit" >&2; exit 1; }
+# Precedence tier: one build (first request), one skip (schulze reused it).
+echo "$STATZ" | grep -q '"builds":1' || { echo "statz did not show exactly one matrix build" >&2; exit 1; }
+echo "$STATZ" | grep -q '"builds_skipped":1' || { echo "statz did not show the skipped matrix build" >&2; exit 1; }
 
 echo "serve smoke ok"
