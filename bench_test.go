@@ -6,10 +6,12 @@
 package manirank_test
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
 
+	"manirank"
 	"manirank/internal/core"
 	"manirank/internal/experiments"
 	"manirank/internal/kemeny"
@@ -222,6 +224,89 @@ func BenchmarkPlackettLuce100k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.SampleInto(dst, rng)
+	}
+}
+
+// --- Engine API v2 benches (DESIGN.md Section 8) ---
+
+// engineBenchInstance builds the multi-method workload the Engine is
+// designed for: a serving-style profile — many rankers, so the O(n²·m)
+// precedence construction is a real fraction of the work — plus the
+// MANI-Rank targets the fair methods repair toward. Restarts are disabled
+// (single-descent heuristics) on both sides so the comparison isolates the
+// dispatch architecture, not the search budget.
+func engineBenchInstance(b *testing.B) (manirank.Profile, []manirank.Target) {
+	b.Helper()
+	tab, err := unfairgen.PaperTable(90)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modal := unfairgen.BlockRanking(tab)
+	rng := rand.New(rand.NewSource(15))
+	p := mallows.MustNew(modal, 0.5).SampleProfile(600, rng)
+	return p, core.Targets(tab, 0.2)
+}
+
+// BenchmarkEngineSolveAll measures the shared-matrix path: one Engine per
+// iteration (a single O(n²·m) precedence construction) serving all eight
+// canonical methods through the registry. Compare with
+// BenchmarkPerCallSolveAll — the gap is the construction work the Engine
+// amortises across a multi-method workload (BENCH_5.json records the
+// pair). No table is attached, so neither side audits; the Engine side's
+// only extra work over the legacy calls is the Result's O(n²) PD-loss
+// read-off (µs-scale at n=90, in the noise of the ms-scale solves).
+func BenchmarkEngineSolveAll(b *testing.B) {
+	p, targets := engineBenchInstance(b)
+	ctx := context.Background()
+	opts := []manirank.SolveOption{
+		manirank.WithSolverWorkers(1),
+		manirank.WithPerturbations(-1),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := manirank.NewEngine(p, manirank.WithPrecedenceWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range manirank.Methods() {
+			if _, err := eng.Solve(ctx, m, targets, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPerCallSolveAll runs the same eight-method workload through the
+// deprecated per-call entry points, each building its own precedence
+// matrix from the profile (Borda's profile path needs none) — the pattern
+// Engine API v2 replaces.
+func BenchmarkPerCallSolveAll(b *testing.B) {
+	p, targets := engineBenchInstance(b)
+	kopts := manirank.KemenyOptions{Heuristic: kemeny.Options{Workers: 1, Perturbations: -1}}
+	// Pin matrix construction sequential on both sides of the comparison
+	// (the Engine side pins via WithPrecedenceWorkers).
+	prev := ranking.DefaultWorkers
+	ranking.DefaultWorkers = 1
+	defer func() { ranking.DefaultWorkers = prev }()
+	calls := []func() (manirank.Ranking, error){
+		func() (manirank.Ranking, error) { return manirank.Borda(p) },
+		func() (manirank.Ranking, error) { return manirank.Copeland(p) },
+		func() (manirank.Ranking, error) { return manirank.Schulze(p) },
+		func() (manirank.Ranking, error) { return manirank.Kemeny(p, kopts) },
+		func() (manirank.Ranking, error) { return manirank.FairBorda(p, targets) },
+		func() (manirank.Ranking, error) { return manirank.FairCopeland(p, targets) },
+		func() (manirank.Ranking, error) { return manirank.FairSchulze(p, targets) },
+		func() (manirank.Ranking, error) {
+			return manirank.FairKemeny(p, targets, manirank.Options{Kemeny: kopts})
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, call := range calls {
+			if _, err := call(); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"os"
 	"runtime"
 
+	"manirank"
 	"manirank/internal/service"
 	"manirank/internal/service/cache"
 	"manirank/internal/service/loadgen"
@@ -48,8 +49,9 @@ var serveSkews = []float64{0, 0.5, 1.2, 2.0}
 // rebuilds) versus a four-method mix over the same profiles, where each
 // matrix is reusable by up to four distinct result-cache keys.
 var serveMethodMixes = [][]string{
-	{"fair-kemeny"},
-	{"borda", "copeland", "schulze", "fair-kemeny"},
+	{manirank.MethodFairKemeny.String()},
+	{manirank.MethodBorda.String(), manirank.MethodCopeland.String(),
+		manirank.MethodSchulze.String(), manirank.MethodFairKemeny.String()},
 }
 
 // runServeBench boots the serving stack on a loopback listener and replays

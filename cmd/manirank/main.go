@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -21,11 +22,9 @@ import (
 	"path/filepath"
 	"strings"
 
-	"manirank/internal/aggregate"
+	"manirank"
 	"manirank/internal/attribute"
-	"manirank/internal/core"
 	"manirank/internal/fairness"
-	"manirank/internal/kemeny"
 	"manirank/internal/mallows"
 	"manirank/internal/ranking"
 	"manirank/internal/unfairgen"
@@ -99,7 +98,9 @@ func cmdAggregate(args []string) error {
 	candidates := fs.String("candidates", "", "candidate table CSV (required)")
 	rankings := fs.String("rankings", "", "base rankings CSV (required)")
 	delta := fs.Float64("delta", 0.1, "MANI-Rank fairness threshold in [0,1]")
-	methodName := fs.String("method", "fair-kemeny", "fair-kemeny|fair-copeland|fair-schulze|fair-borda|kemeny|borda|copeland|schulze")
+	// The accepted set comes from the engine registry, so this usage string
+	// can never drift from what the library (and manirankd) resolve.
+	methodName := fs.String("method", "fair-kemeny", strings.Join(manirank.MethodNames(), "|"))
 	workers := fs.Int("workers", 0, "worker pool size for precedence-matrix construction and Kemeny restart sharding (0 = all CPUs, 1 = sequential; results identical either way)")
 	out := fs.String("o", "", "write the consensus ranking CSV here (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -108,46 +109,30 @@ func cmdAggregate(args []string) error {
 	if *candidates == "" || *rankings == "" {
 		return fmt.Errorf("aggregate: -candidates and -rankings are required")
 	}
-	ranking.DefaultWorkers = *workers
+	method, err := manirank.ParseMethod(*methodName)
+	if err != nil {
+		return fmt.Errorf("aggregate: %w", err)
+	}
+	if method.Baseline() {
+		return fmt.Errorf("aggregate: method %q is an experiment baseline (want one of %s)",
+			*methodName, strings.Join(manirank.MethodNames(), ", "))
+	}
 	tab, p, err := loadInputs(*candidates, *rankings)
 	if err != nil {
 		return err
 	}
-	targets := core.Targets(tab, *delta)
+	eng, err := manirank.NewEngine(p,
+		manirank.WithTable(tab),
+		manirank.WithPrecedenceWorkers(*workers))
+	if err != nil {
+		return err
+	}
 	// The same flag governs solver-layer parallelism: heuristic-Kemeny and
 	// constrained-search restarts shard across this many workers with
-	// bitwise-identical output for every width.
-	kopts := aggregate.KemenyOptions{Heuristic: kemeny.Options{Workers: *workers}}
-	var consensus ranking.Ranking
-	switch strings.ToLower(*methodName) {
-	case "fair-kemeny":
-		consensus, err = core.FairKemeny(p, targets, core.Options{Kemeny: kopts})
-	case "fair-copeland":
-		consensus, err = core.FairCopeland(p, targets)
-	case "fair-schulze":
-		consensus, err = core.FairSchulze(p, targets)
-	case "fair-borda":
-		consensus, err = core.FairBorda(p, targets)
-	case "kemeny":
-		var w *ranking.Precedence
-		if w, err = ranking.NewPrecedence(p); err == nil {
-			consensus = aggregate.Kemeny(w, kopts)
-		}
-	case "borda":
-		consensus, err = aggregate.Borda(p)
-	case "copeland":
-		var w *ranking.Precedence
-		if w, err = ranking.NewPrecedence(p); err == nil {
-			consensus = aggregate.Copeland(w)
-		}
-	case "schulze":
-		var w *ranking.Precedence
-		if w, err = ranking.NewPrecedence(p); err == nil {
-			consensus = aggregate.Schulze(w)
-		}
-	default:
-		return fmt.Errorf("aggregate: unknown method %q", *methodName)
-	}
+	// bitwise-identical output for every width. Unaware methods ignore the
+	// targets.
+	res, err := eng.Solve(context.Background(), method, manirank.Targets(tab, *delta),
+		manirank.WithSolverWorkers(*workers))
 	if err != nil {
 		return err
 	}
@@ -161,11 +146,10 @@ func cmdAggregate(args []string) error {
 		defer f.Close()
 		dst = f
 	}
-	if err := ranking.WriteProfileCSV(dst, ranking.Profile{consensus}); err != nil {
+	if err := ranking.WriteProfileCSV(dst, ranking.Profile{res.Ranking}); err != nil {
 		return err
 	}
-	rep := fairness.Audit(consensus, tab)
-	fmt.Fprintf(os.Stderr, "PD loss %.4f\n%s", ranking.PDLoss(p, consensus), fairness.FormatReport(rep, tab))
+	fmt.Fprintf(os.Stderr, "PD loss %.4f\n%s", res.PDLoss, fairness.FormatReport(*res.Report, tab))
 	return nil
 }
 

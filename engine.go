@@ -1,0 +1,271 @@
+package manirank
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"manirank/internal/fairness"
+	"manirank/internal/ranking"
+)
+
+// Engine is the context-first entry point to every consensus method: it is
+// constructed once from a Profile (optionally with the candidate Table),
+// owns the O(n²) precedence matrix W that all pairwise methods consume, and
+// routes Solve calls through the shared method registry. Solving k methods
+// over one profile therefore costs one O(n²·m) matrix construction instead
+// of k — the library-level form of the serving layer's shared precedence
+// tier (DESIGN.md §7–§8).
+//
+// An Engine is immutable after construction and safe for concurrent Solve
+// calls from multiple goroutines.
+type Engine struct {
+	p   Profile     // nil when constructed from a matrix only (NewEngineW)
+	w   *Precedence // always non-nil
+	tab *Table      // nil when no candidate table was supplied
+}
+
+// engineConfig collects EngineOption state.
+type engineConfig struct {
+	tab        *Table
+	workers    int
+	hasWorkers bool
+}
+
+// EngineOption configures NewEngine / NewEngineW.
+type EngineOption func(*engineConfig)
+
+// WithTable attaches the candidate table X: Solve results gain a full
+// fairness audit (Result.Report), and the table-consuming baselines
+// (kemeny-weighted, pick-fairest-perm) become solvable. A nil table is
+// ignored, so optional-table call sites need no branching.
+func WithTable(t *Table) EngineOption {
+	return func(c *engineConfig) { c.tab = t }
+}
+
+// WithPrecedenceWorkers pins the worker count of the one-time precedence
+// matrix construction (0 auto-sizes, 1 forces the serial kernel; the matrix
+// is bitwise identical for every width). Without this option NewEngine uses
+// the package default (ranking.DefaultWorkers). NewEngineW ignores it — its
+// matrix is already built.
+func WithPrecedenceWorkers(n int) EngineOption {
+	return func(c *engineConfig) { c.workers, c.hasWorkers = n, true }
+}
+
+// NewEngine validates the profile, builds its precedence matrix once, and
+// returns an Engine over it. The construction is the only O(n²·m) cost;
+// every subsequent Solve reuses the matrix.
+func NewEngine(p Profile, opts ...EngineOption) (*Engine, error) {
+	var cfg engineConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var (
+		w   *Precedence
+		err error
+	)
+	if cfg.hasWorkers {
+		w, err = ranking.NewPrecedenceWorkers(p, cfg.workers)
+	} else {
+		w, err = ranking.NewPrecedence(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.tab != nil && cfg.tab.N() != w.N() {
+		return nil, fmt.Errorf("manirank: table covers %d candidates, profile ranks %d", cfg.tab.N(), w.N())
+	}
+	return &Engine{p: p, w: w, tab: cfg.tab}, nil
+}
+
+// NewEngineW wraps an already-built precedence matrix — the entry point for
+// callers that obtained W from a cache tier (manirankd's matrix cache) or
+// another Engine. The resulting Engine has no profile, so methods for which
+// Method.RequiresProfile is true return ErrProfileRequired from Solve.
+func NewEngineW(w *Precedence, opts ...EngineOption) (*Engine, error) {
+	if w == nil {
+		return nil, errors.New("manirank: nil precedence matrix")
+	}
+	var cfg engineConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.tab != nil && cfg.tab.N() != w.N() {
+		return nil, fmt.Errorf("manirank: table covers %d candidates, matrix ranks %d", cfg.tab.N(), w.N())
+	}
+	return &Engine{w: w, tab: cfg.tab}, nil
+}
+
+// Validation errors returned by Engine.Solve.
+var (
+	// ErrProfileRequired: the method consumes the base rankings, but the
+	// Engine was constructed from a matrix only (NewEngineW).
+	ErrProfileRequired = errors.New("manirank: method requires the base profile, engine was built from a precedence matrix only")
+	// ErrTableRequired: the method consumes the candidate table, but the
+	// Engine was constructed without WithTable.
+	ErrTableRequired = errors.New("manirank: method requires a candidate table (construct the engine WithTable)")
+)
+
+// N returns the candidate count.
+func (e *Engine) N() int { return e.w.N() }
+
+// Rankers returns the number of base rankings the precedence matrix
+// aggregates.
+func (e *Engine) Rankers() int { return e.w.Rankings() }
+
+// Precedence returns the engine's shared precedence matrix. The matrix is
+// read-only after construction; callers must not mutate it.
+func (e *Engine) Precedence() *Precedence { return e.w }
+
+// Table returns the candidate table the engine audits against, or nil.
+func (e *Engine) Table() *Table { return e.tab }
+
+// solveConfig collects SolveOption state. The zero value reproduces the
+// legacy entry points' defaults exactly (deterministic seed 0, package
+// default exact threshold and node budget, sequential restarts).
+type solveConfig struct {
+	kemeny KemenyOptions
+}
+
+// SolveOption tunes one Solve call. The options replace the legacy
+// Options / KemenyOptions structs: each maps onto one knob of the Kemeny
+// engines, and WithKemenyOptions imports a full legacy struct for callers
+// migrating wholesale.
+type SolveOption func(*solveConfig)
+
+// WithKemenyOptions replaces the whole Kemeny engine configuration — the
+// bulk-migration path from the legacy Options/KemenyOptions structs. Later
+// per-knob options still apply on top.
+func WithKemenyOptions(o KemenyOptions) SolveOption {
+	return func(c *solveConfig) { c.kemeny = o }
+}
+
+// WithSeed pins the seed of the Kemeny heuristic's randomised restarts.
+// Results are deterministic per (input, options); two Solves with the same
+// seed are bitwise identical.
+func WithSeed(seed int64) SolveOption {
+	return func(c *solveConfig) { c.kemeny.Heuristic.Seed = seed }
+}
+
+// WithPerturbations sets the iterated-local-search restart count of the
+// Kemeny heuristic (negative disables restarts).
+func WithPerturbations(n int) SolveOption {
+	return func(c *solveConfig) { c.kemeny.Heuristic.Perturbations = n }
+}
+
+// WithStrength sets the number of random moves per heuristic perturbation.
+func WithStrength(n int) SolveOption {
+	return func(c *solveConfig) { c.kemeny.Heuristic.Strength = n }
+}
+
+// WithExactThreshold bounds the exact branch-and-bound Kemeny engine: it
+// runs when n is at or below the threshold (package default 12).
+func WithExactThreshold(n int) SolveOption {
+	return func(c *solveConfig) { c.kemeny.ExactThreshold = n }
+}
+
+// WithMaxNodes bounds the exact search's node budget; on exhaustion the
+// best ranking found is returned.
+func WithMaxNodes(n int64) SolveOption {
+	return func(c *solveConfig) { c.kemeny.MaxNodes = n }
+}
+
+// WithSolverWorkers shards the Kemeny restart loops over a worker pool
+// (kemeny.Options.Workers; 0 auto-sizes, 1 is sequential). Output is
+// bitwise identical for every width.
+func WithSolverWorkers(n int) SolveOption {
+	return func(c *solveConfig) { c.kemeny.Heuristic.Workers = n }
+}
+
+// Result is the complete outcome of one Engine.Solve: the consensus ranking
+// together with everything the repo's surfaces used to compute separately —
+// PD loss against the profile, the fairness audit, the partial flag for
+// deadline-truncated searches, and solve statistics.
+type Result struct {
+	// Ranking is the consensus ranking, top candidate first.
+	Ranking Ranking
+	// Method is the registry method that produced the ranking.
+	Method Method
+	// PDLoss is the pairwise disagreement loss of Ranking against the
+	// engine's profile, in [0, 1] (paper Def. 9), computed from the shared
+	// precedence matrix.
+	PDLoss float64
+	// Report is the full MANI-Rank fairness audit of Ranking (per-group
+	// FPRs, per-attribute ARPs, IRP); nil when the engine has no Table.
+	Report *Report
+	// Partial is true when ctx expired mid-solve and the ranking is the
+	// search's best-so-far rather than its converged answer. Only the
+	// Kemeny-based methods are cancellable; for fair methods a partial
+	// result still satisfies the targets.
+	Partial bool
+	// Stats describes the solve.
+	Stats SolveStats
+}
+
+// SolveStats carries per-solve measurements.
+type SolveStats struct {
+	// Candidates is the instance's candidate count n.
+	Candidates int
+	// Rankers is the number of base rankings aggregated.
+	Rankers int
+	// Elapsed is the wall-clock duration of the solve alone — it excludes
+	// the engine's one-time matrix construction and the Result's PD-loss /
+	// audit bookkeeping.
+	Elapsed time.Duration
+}
+
+// Solve runs one registered method over the engine's shared precedence
+// matrix and returns the full Result. ctx carries the caller's deadline:
+// the Kemeny-based engines stop cooperatively when it expires and return
+// their best-so-far ranking flagged Partial (for fair methods, still a
+// feasible one); the polynomial methods always run to completion.
+//
+// targets are the MANI-Rank parity bounds fair methods enforce (Targets,
+// TargetsWithThresholds); fairness-unaware methods ignore them. Passing an
+// empty target set to a fair method degenerates to its unaware counterpart
+// (the repair has nothing to enforce).
+//
+// Solve is the context-first replacement for the deprecated per-method
+// entry points (FairKemeny, Borda, ...); it is safe to call concurrently.
+func (e *Engine) Solve(ctx context.Context, m Method, targets []Target, opts ...SolveOption) (*Result, error) {
+	ent, ok := entryOf(m)
+	if !ok {
+		return nil, fmt.Errorf("manirank: unknown method %d (parse names with ParseMethod)", m)
+	}
+	if ent.profile && e.p == nil {
+		return nil, fmt.Errorf("%w: %s", ErrProfileRequired, ent.name)
+	}
+	if ent.table && e.tab == nil {
+		return nil, fmt.Errorf("%w: %s", ErrTableRequired, ent.name)
+	}
+	var cfg solveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	start := time.Now()
+	r, partial, err := ent.solve(ctx, e, targets, cfg.kemeny)
+	// The clock stops here: the PD-loss scan and the audit below are result
+	// bookkeeping, not solve work, and must not be charged to Elapsed (the
+	// scalability experiments report it).
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Ranking: r,
+		Method:  m,
+		PDLoss:  e.w.PDLoss(r),
+		Partial: partial,
+		Stats: SolveStats{
+			Candidates: e.w.N(),
+			Rankers:    e.w.Rankings(),
+			Elapsed:    elapsed,
+		},
+	}
+	if e.tab != nil {
+		rep := fairness.Audit(r, e.tab)
+		res.Report = &rep
+	}
+	return res, nil
+}

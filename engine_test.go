@@ -1,0 +1,336 @@
+package manirank_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"manirank"
+	"manirank/internal/aggregate"
+	"manirank/internal/core"
+	"manirank/internal/kemeny"
+	"manirank/internal/service"
+)
+
+// discardLogger silences the service's request logs in tests.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// pinnedSeed and pinned worker counts make every solver in the parity
+// tests fully deterministic, so "bitwise identical" is a meaningful
+// assertion rather than a flaky one.
+const pinnedSeed = 7
+
+// pinnedKemenyOptions is the legacy-struct form of the pinned solver
+// configuration; the Engine side expresses the same thing through
+// functional SolveOptions.
+func pinnedKemenyOptions() manirank.KemenyOptions {
+	return manirank.KemenyOptions{Heuristic: kemeny.Options{Seed: pinnedSeed, Workers: 1}}
+}
+
+func pinnedSolveOptions() []manirank.SolveOption {
+	return []manirank.SolveOption{
+		manirank.WithSeed(pinnedSeed),
+		manirank.WithSolverWorkers(1),
+	}
+}
+
+// legacyCall maps every registered method to the entry point it deprecates:
+// the root wrappers for the canonical eight, the internal packages for the
+// experiment baselines (which never had root wrappers).
+func legacyCall(m manirank.Method, p manirank.Profile, tab *manirank.Table, targets []manirank.Target) (manirank.Ranking, error) {
+	kopts := pinnedKemenyOptions()
+	switch m {
+	case manirank.MethodBorda:
+		return manirank.Borda(p)
+	case manirank.MethodCopeland:
+		return manirank.Copeland(p)
+	case manirank.MethodSchulze:
+		return manirank.Schulze(p)
+	case manirank.MethodKemeny:
+		return manirank.Kemeny(p, kopts)
+	case manirank.MethodFairBorda:
+		return manirank.FairBorda(p, targets)
+	case manirank.MethodFairCopeland:
+		return manirank.FairCopeland(p, targets)
+	case manirank.MethodFairSchulze:
+		return manirank.FairSchulze(p, targets)
+	case manirank.MethodFairKemeny:
+		return manirank.FairKemeny(p, targets, manirank.Options{Kemeny: kopts})
+	case manirank.MethodKemenyWeighted:
+		return aggregate.KemenyWeighted(p, tab, kopts)
+	case manirank.MethodPickFairestPerm:
+		return aggregate.PickFairestPerm(p, tab)
+	case manirank.MethodCorrectFairestPerm:
+		return core.CorrectFairestPerm(p, targets)
+	}
+	return nil, fmt.Errorf("no legacy mapping for %v", m)
+}
+
+// TestEngineSolveMatchesLegacy is the registry parity property: on several
+// instances, every registered method must produce a ranking bitwise
+// identical to its legacy entry point. This is what lets the legacy
+// wrappers be deprecated rather than maintained as a second code path.
+func TestEngineSolveMatchesLegacy(t *testing.T) {
+	instances := []struct {
+		n, m  int
+		theta float64
+		seed  int64
+		delta float64
+	}{
+		{16, 9, 0.4, 1, 0.25},
+		{24, 12, 0.5, 2, 0.15},
+		{40, 21, 0.7, 3, 0.2},
+	}
+	for _, inst := range instances {
+		tab := demoTable(t, inst.n)
+		p := demoProfile(t, tab, inst.m, inst.theta, inst.seed)
+		targets := manirank.Targets(tab, inst.delta)
+		eng, err := manirank.NewEngine(p, manirank.WithTable(tab))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range manirank.AllMethods() {
+			res, err := eng.Solve(context.Background(), m, targets, pinnedSolveOptions()...)
+			if err != nil {
+				t.Fatalf("n=%d %s: Engine.Solve: %v", inst.n, m, err)
+			}
+			want, err := legacyCall(m, p, tab, targets)
+			if err != nil {
+				t.Fatalf("n=%d %s: legacy: %v", inst.n, m, err)
+			}
+			if !reflect.DeepEqual(res.Ranking, want) {
+				t.Errorf("n=%d %s: Engine.Solve deviates from legacy entry point\nengine: %v\nlegacy: %v",
+					inst.n, m, res.Ranking, want)
+			}
+			if res.Partial {
+				t.Errorf("n=%d %s: uncancelled solve flagged partial", inst.n, m)
+			}
+			if res.Report == nil {
+				t.Errorf("n=%d %s: engine with table returned nil Report", inst.n, m)
+			}
+			if res.Method != m {
+				t.Errorf("n=%d %s: Result.Method = %s", inst.n, m, res.Method)
+			}
+		}
+	}
+}
+
+// TestEngineSolveMatchesHTTP closes the loop across the third surface: for
+// every served method, the ranking coming back over manirankd's HTTP API
+// must equal both Engine.Solve and the legacy entry point on the same
+// instance (fixed seed, solver workers pinned to 1 on both sides).
+func TestEngineSolveMatchesHTTP(t *testing.T) {
+	const n, m, delta = 24, 12, 0.2
+	tab := demoTable(t, n)
+	p := demoProfile(t, tab, m, 0.5, 4)
+	targets := manirank.Targets(tab, delta)
+	eng, err := manirank.NewEngine(p, manirank.WithTable(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := service.New(service.Config{Workers: 1, SolverWorkers: 1, Logger: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	// The wire form of the shared instance; the attribute specs mirror
+	// demoTable exactly.
+	profile := make([][]int, len(p))
+	for i, r := range p {
+		profile[i] = []int(r)
+	}
+	attrs := make([]service.AttributeSpec, 0, 2)
+	for _, a := range tab.Attrs() {
+		attrs = append(attrs, service.AttributeSpec{Name: a.Name, Values: a.Values, Of: a.Of})
+	}
+
+	for _, method := range manirank.Methods() {
+		req := service.AggregateRequest{
+			Method:  method.String(),
+			Profile: profile,
+			Options: service.SolverOptions{Seed: pinnedSeed},
+		}
+		if method.IsFair() {
+			req.Delta = delta
+		}
+		req.Attributes = attrs
+		body, err := json.Marshal(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(hs.URL+"/v1/aggregate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: POST: %v", method, err)
+		}
+		var ar service.AggregateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			t.Fatalf("%s: decode: %v", method, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", method, resp.StatusCode)
+		}
+
+		var engTargets []manirank.Target
+		if method.IsFair() {
+			engTargets = targets
+		}
+		res, err := eng.Solve(context.Background(), method, engTargets, pinnedSolveOptions()...)
+		if err != nil {
+			t.Fatalf("%s: Engine.Solve: %v", method, err)
+		}
+		if !reflect.DeepEqual(ar.Ranking, res.Ranking) {
+			t.Errorf("%s: HTTP ranking deviates from Engine.Solve\nhttp:   %v\nengine: %v",
+				method, ar.Ranking, res.Ranking)
+		}
+		legacy, err := legacyCall(method, p, tab, targets)
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", method, err)
+		}
+		if !reflect.DeepEqual(ar.Ranking, legacy) {
+			t.Errorf("%s: HTTP ranking deviates from legacy entry point\nhttp:   %v\nlegacy: %v",
+				method, ar.Ranking, legacy)
+		}
+	}
+}
+
+// TestMethodSets pins the public method sets against the registry: the
+// canonical eight in documented order, the three baselines, and a lossless
+// ParseMethod/String round trip for all of them — the property that keeps
+// the CLI usage string and the service's accepted values from drifting.
+func TestMethodSets(t *testing.T) {
+	wantNames := []string{
+		"borda", "copeland", "schulze", "kemeny",
+		"fair-borda", "fair-copeland", "fair-schulze", "fair-kemeny",
+	}
+	if got := manirank.MethodNames(); !reflect.DeepEqual(got, wantNames) {
+		t.Fatalf("MethodNames() = %v, want %v", got, wantNames)
+	}
+	if got, want := len(manirank.Baselines()), 3; got != want {
+		t.Fatalf("len(Baselines()) = %d, want %d", got, want)
+	}
+	if got, want := len(manirank.AllMethods()), 11; got != want {
+		t.Fatalf("len(AllMethods()) = %d, want %d", got, want)
+	}
+	for _, m := range manirank.AllMethods() {
+		parsed, err := manirank.ParseMethod(m.String())
+		if err != nil {
+			t.Fatalf("ParseMethod(%q): %v", m.String(), err)
+		}
+		if parsed != m {
+			t.Fatalf("round trip %q: got %v, want %v", m.String(), parsed, m)
+		}
+	}
+	// Case-insensitive parsing, as the HTTP API documents for its method
+	// field.
+	if m, err := manirank.ParseMethod("Fair-Kemeny"); err != nil || m != manirank.MethodFairKemeny {
+		t.Fatalf("ParseMethod(Fair-Kemeny) = %v, %v", m, err)
+	}
+	if _, err := manirank.ParseMethod("no-such-method"); err == nil {
+		t.Fatal("ParseMethod accepted an unknown name")
+	}
+	if got := manirank.MethodInvalid.String(); got != "invalid" {
+		t.Fatalf("MethodInvalid.String() = %q", got)
+	}
+	if !manirank.MethodCorrectFairestPerm.IsFair() || manirank.MethodKemeny.IsFair() {
+		t.Fatal("IsFair misclassifies methods")
+	}
+	if !manirank.MethodKemenyWeighted.Baseline() || manirank.MethodBorda.Baseline() {
+		t.Fatal("Baseline misclassifies methods")
+	}
+}
+
+// TestEngineValidation exercises the constructor and Solve input checks.
+func TestEngineValidation(t *testing.T) {
+	tab := demoTable(t, 16)
+	p := demoProfile(t, tab, 8, 0.5, 5)
+	eng, err := manirank.NewEngine(p, manirank.WithTable(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A matrix-only engine can solve pairwise methods but not the
+	// profile-consuming baselines.
+	wOnly, err := manirank.NewEngineW(eng.Precedence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wOnly.Solve(context.Background(), manirank.MethodBorda, nil); err != nil {
+		t.Fatalf("matrix-only Borda: %v", err)
+	}
+	if _, err := wOnly.Solve(context.Background(), manirank.MethodCorrectFairestPerm, manirank.Targets(tab, 0.2)); !errors.Is(err, manirank.ErrProfileRequired) {
+		t.Fatalf("matrix-only baseline error = %v, want ErrProfileRequired", err)
+	}
+
+	// Table-consuming methods need WithTable.
+	noTab, err := manirank.NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noTab.Solve(context.Background(), manirank.MethodPickFairestPerm, nil); !errors.Is(err, manirank.ErrTableRequired) {
+		t.Fatalf("table-less pick-fairest-perm error = %v, want ErrTableRequired", err)
+	}
+	if res, err := noTab.Solve(context.Background(), manirank.MethodBorda, nil); err != nil || res.Report != nil {
+		t.Fatalf("table-less Borda: err=%v report=%v (want nil report)", err, res.Report)
+	}
+
+	// Unregistered methods and mismatched tables fail loudly.
+	if _, err := eng.Solve(context.Background(), manirank.MethodInvalid, nil); err == nil {
+		t.Fatal("Solve accepted MethodInvalid")
+	}
+	small := demoTable(t, 8)
+	if _, err := manirank.NewEngine(p, manirank.WithTable(small)); err == nil {
+		t.Fatal("NewEngine accepted a table over the wrong candidate count")
+	}
+	if _, err := manirank.NewEngineW(nil); err == nil {
+		t.Fatal("NewEngineW accepted a nil matrix")
+	}
+}
+
+// TestEngineSharedMatrixReuse pins the tentpole's economics: the matrix
+// built by one Engine is the same object served to every Solve, and an
+// Engine wrapped around it (the serving layer's cache path) produces
+// identical rankings.
+func TestEngineSharedMatrixReuse(t *testing.T) {
+	tab := demoTable(t, 24)
+	p := demoProfile(t, tab, 10, 0.6, 6)
+	targets := manirank.Targets(tab, 0.2)
+	eng, err := manirank.NewEngine(p, manirank.WithTable(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := manirank.NewEngineW(eng.Precedence(), manirank.WithTable(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range manirank.Methods() {
+		a, err := eng.Solve(context.Background(), m, targets, pinnedSolveOptions()...)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		b, err := wrapped.Solve(context.Background(), m, targets, pinnedSolveOptions()...)
+		if err != nil {
+			t.Fatalf("%s (wrapped): %v", m, err)
+		}
+		if !reflect.DeepEqual(a.Ranking, b.Ranking) {
+			t.Errorf("%s: wrapped engine deviates", m)
+		}
+		if a.PDLoss != b.PDLoss {
+			t.Errorf("%s: PD loss deviates: %v vs %v", m, a.PDLoss, b.PDLoss)
+		}
+	}
+}

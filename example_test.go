@@ -1,15 +1,18 @@
 package manirank_test
 
 import (
+	"context"
 	"fmt"
 
 	"manirank"
 )
 
-// ExampleFairKemeny demonstrates removing gender bias from a consensus over
-// six candidates: every ranker puts all men (0-2) above all women (3-5);
-// Fair-Kemeny with Delta = 0.4 pulls the consensus toward parity.
-func ExampleFairKemeny() {
+// ExampleEngine_Solve demonstrates removing gender bias from a consensus
+// over six candidates: every ranker puts all men (0-2) above all women
+// (3-5); Fair-Kemeny with Delta = 0.4 pulls the consensus toward parity.
+// Both methods run on one Engine, sharing its precedence matrix, and each
+// Result carries its own fairness audit.
+func ExampleEngine_Solve() {
 	table, _ := manirank.NewTable(6,
 		manirank.MustAttribute("Gender", []string{"M", "W"}, []int{0, 0, 0, 1, 1, 1}),
 	)
@@ -17,12 +20,25 @@ func ExampleFairKemeny() {
 		{0, 1, 2, 3, 4, 5},
 		{1, 0, 2, 4, 3, 5},
 	}
-	unfair, _ := manirank.Kemeny(profile, manirank.KemenyOptions{})
-	fair, _ := manirank.FairKemeny(profile, manirank.Targets(table, 0.4), manirank.Options{})
+	engine, _ := manirank.NewEngine(profile, manirank.WithTable(table))
+	ctx := context.Background()
+	unfair, _ := engine.Solve(ctx, manirank.MethodKemeny, nil)
+	fair, _ := engine.Solve(ctx, manirank.MethodFairKemeny, manirank.Targets(table, 0.4))
 	fmt.Printf("unaware ARP %.2f, fair ARP %.2f\n",
-		manirank.ARP(unfair, table.Attr("Gender")),
-		manirank.ARP(fair, table.Attr("Gender")))
+		unfair.Report.ARPs[0], fair.Report.ARPs[0])
 	// Output: unaware ARP 1.00, fair ARP 0.33
+}
+
+// ExampleParseMethod shows the registry behind every surface: method names
+// parse case-insensitively into first-class Method values, and the
+// canonical set is enumerable.
+func ExampleParseMethod() {
+	m, _ := manirank.ParseMethod("Fair-Borda")
+	fmt.Println(m, m.IsFair())
+	fmt.Println(manirank.MethodNames())
+	// Output:
+	// fair-borda true
+	// [borda copeland schulze kemeny fair-borda fair-copeland fair-schulze fair-kemeny]
 }
 
 // ExampleAudit shows a full fairness audit of a single ranking.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,27 +30,32 @@ func main() {
 			i+1, rep.ARPs[0], rep.ARPs[1], rep.IRP)
 	}
 
-	kemeny, err := manirank.Kemeny(profile, manirank.KemenyOptions{})
+	// One Engine serves both consensus methods over a shared precedence
+	// matrix, auditing each result against the committee's table.
+	engine, err := manirank.NewEngine(profile, manirank.WithTable(table))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fair, err := manirank.FairKemeny(profile, manirank.Targets(table, 0.1), manirank.Options{})
+	ctx := context.Background()
+	kemeny, err := engine.Solve(ctx, manirank.MethodKemeny, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fair, err := engine.Solve(ctx, manirank.MethodFairKemeny, manirank.Targets(table, 0.1))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("\nGroup fairness results (paper Fig. 2):")
 	fmt.Printf("%-22s %-18s %s\n", "", "Kemeny Consensus", "MANI-Rank Consensus")
-	kr := manirank.Audit(kemeny, table)
-	fr := manirank.Audit(fair, table)
+	kr, fr := kemeny.Report, fair.Report
 	fmt.Printf("%-22s %-18.2f %.2f\n", "ARP Gender", kr.ARPs[0], fr.ARPs[0])
 	fmt.Printf("%-22s %-18.2f %.2f\n", "ARP Race", kr.ARPs[1], fr.ARPs[1])
 	fmt.Printf("%-22s %-18.2f %.2f\n", "IRP", kr.IRP, fr.IRP)
-	fmt.Printf("%-22s %-18.3f %.3f\n", "PD loss",
-		manirank.PDLoss(profile, kemeny), manirank.PDLoss(profile, fair))
+	fmt.Printf("%-22s %-18.3f %.3f\n", "PD loss", kemeny.PDLoss, fair.PDLoss)
 
 	fmt.Println("\nTop 10 of the fair consensus (candidate: gender/race):")
-	for pos, c := range fair[:10] {
+	for pos, c := range fair.Ranking[:10] {
 		fmt.Printf("  %2d. candidate %2d  %s/%s\n", pos+1, c,
 			table.Attr("Gender").ValueOf(c), table.Attr("Race").ValueOf(c))
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,39 +37,45 @@ func main() {
 		row(fmt.Sprintf("%d", study.Years[idx]), profile[idx])
 	}
 
-	kemeny, err := manirank.Kemeny(profile, manirank.KemenyOptions{})
+	// One Engine, five methods, one shared precedence matrix: the 21-year
+	// profile is validated and aggregated once, and every consensus below
+	// reuses it.
+	engine, err := manirank.NewEngine(profile, manirank.WithTable(table))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	kemeny, err := engine.Solve(ctx, manirank.MethodKemeny, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\n20-year consensus:")
-	row("Kemeny", kemeny)
+	row("Kemeny", kemeny.Ranking)
 
 	targets := manirank.Targets(table, 0.05)
+	var fair *manirank.Result
 	for _, m := range []struct {
-		name  string
-		solve func() (manirank.Ranking, error)
+		name   string
+		method manirank.Method
 	}{
-		{"Fair-Kemeny", func() (manirank.Ranking, error) {
-			return manirank.FairKemeny(profile, targets, manirank.Options{})
-		}},
-		{"Fair-Schulze", func() (manirank.Ranking, error) { return manirank.FairSchulze(profile, targets) }},
-		{"Fair-Borda", func() (manirank.Ranking, error) { return manirank.FairBorda(profile, targets) }},
-		{"Fair-Copeland", func() (manirank.Ranking, error) { return manirank.FairCopeland(profile, targets) }},
+		{"Fair-Kemeny", manirank.MethodFairKemeny},
+		{"Fair-Schulze", manirank.MethodFairSchulze},
+		{"Fair-Borda", manirank.MethodFairBorda},
+		{"Fair-Copeland", manirank.MethodFairCopeland},
 	} {
-		r, err := m.solve()
+		res, err := engine.Solve(ctx, m.method, targets)
 		if err != nil {
 			log.Fatal(err)
 		}
-		row(m.name, r)
+		row(m.name, res.Ranking)
+		if m.method == manirank.MethodFairKemeny {
+			fair = res
+		}
 	}
 
 	fmt.Println("\nTop 10 departments, Kemeny vs Fair-Kemeny:")
-	fair, err := manirank.FairKemeny(profile, targets, manirank.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
 	for pos := 0; pos < 10; pos++ {
-		k, f := kemeny[pos], fair[pos]
+		k, f := kemeny.Ranking[pos], fair.Ranking[pos]
 		fmt.Printf("  %2d. dept %2d (%s/%s)   vs   dept %2d (%s/%s)\n", pos+1,
 			k, table.Attr("Location").ValueOf(k), table.Attr("Type").ValueOf(k),
 			f, table.Attr("Location").ValueOf(f), table.Attr("Type").ValueOf(f))

@@ -1,10 +1,12 @@
 // Quickstart: build a small candidate database with two protected
-// attributes, combine three committee rankings into a consensus, observe
-// the bias a fairness-unaware method inherits, and remove it with the
-// MANI-Rank solvers.
+// attributes, construct a manirank.Engine over three committee rankings
+// (Engine API v2 — one shared precedence matrix behind every method),
+// observe the bias a fairness-unaware method inherits, and remove it with
+// the MANI-Rank solvers.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,29 +33,36 @@ func main() {
 		{0, 2, 1, 3, 4, 6, 5, 7},
 	}
 
-	// A fairness-unaware Kemeny consensus faithfully reproduces the bias.
-	unfair, err := manirank.Kemeny(profile, manirank.KemenyOptions{})
+	// The Engine is built once per profile: it validates the input, builds
+	// the precedence matrix every method shares, and (WithTable) audits
+	// every result for fairness.
+	engine, err := manirank.NewEngine(profile, manirank.WithTable(table))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("Kemeny consensus:   ", unfair)
+	ctx := context.Background()
+
+	// A fairness-unaware Kemeny consensus faithfully reproduces the bias.
+	unfair, err := engine.Solve(ctx, manirank.MethodKemeny, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Kemeny consensus:   ", unfair.Ranking)
 	fmt.Printf("  Gender ARP = %.2f (1.0 = one gender wholly on top)\n",
-		manirank.ARP(unfair, table.Attr("Gender")))
+		unfair.Report.ARPs[0])
 
 	// MANI-Rank targets: every attribute and the intersection within 0.2 of
-	// statistical parity.
+	// statistical parity. The solve reuses the matrix the Kemeny call built.
 	targets := manirank.Targets(table, 0.2)
-	fair, err := manirank.FairKemeny(profile, targets, manirank.Options{})
+	fair, err := engine.Solve(ctx, manirank.MethodFairKemeny, targets)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("Fair-Kemeny consensus:", fair)
-	fmt.Print(manirank.FormatReport(manirank.Audit(fair, table), table))
+	fmt.Println("Fair-Kemeny consensus:", fair.Ranking)
+	fmt.Print(manirank.FormatReport(*fair.Report, table))
 
 	// The price of fairness: extra pairwise disagreement with the rankers.
 	fmt.Printf("PD loss: unaware %.3f -> fair %.3f (PoF %.3f)\n",
-		manirank.PDLoss(profile, unfair),
-		manirank.PDLoss(profile, fair),
-		manirank.PriceOfFairness(profile, fair, unfair),
-	)
+		unfair.PDLoss, fair.PDLoss,
+		manirank.PriceOfFairness(profile, fair.Ranking, unfair.Ranking))
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,10 +37,18 @@ func main() {
 		row(study.Subjects[i], r)
 	}
 
-	kemeny, err := manirank.Kemeny(profile, manirank.KemenyOptions{})
+	// One Engine aggregates the three subject rankings once; every method
+	// below shares its precedence matrix.
+	engine, err := manirank.NewEngine(profile, manirank.WithTable(table))
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
+	kemenyRes, err := engine.Solve(ctx, manirank.MethodKemeny, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kemeny := kemenyRes.Ranking
 	fmt.Println("\nFairness-unaware consensus inherits the bias:")
 	row("Kemeny", kemeny)
 
@@ -61,23 +70,21 @@ func main() {
 	targets := manirank.Targets(table, 0.05)
 	fmt.Println("\nMFCR consensus rankings (Delta = 0.05):")
 	for _, m := range []struct {
-		name  string
-		solve func() (manirank.Ranking, error)
+		name   string
+		method manirank.Method
 	}{
-		{"Fair-Kemeny", func() (manirank.Ranking, error) {
-			return manirank.FairKemeny(profile, targets, manirank.Options{})
-		}},
-		{"Fair-Schulze", func() (manirank.Ranking, error) { return manirank.FairSchulze(profile, targets) }},
-		{"Fair-Borda", func() (manirank.Ranking, error) { return manirank.FairBorda(profile, targets) }},
-		{"Fair-Copeland", func() (manirank.Ranking, error) { return manirank.FairCopeland(profile, targets) }},
+		{"Fair-Kemeny", manirank.MethodFairKemeny},
+		{"Fair-Schulze", manirank.MethodFairSchulze},
+		{"Fair-Borda", manirank.MethodFairBorda},
+		{"Fair-Copeland", manirank.MethodFairCopeland},
 	} {
-		r, err := m.solve()
+		res, err := engine.Solve(ctx, m.method, targets)
 		if err != nil {
 			log.Fatal(err)
 		}
-		row(m.name, r)
-		if m.name == "Fair-Kemeny" {
-			s, ns = aidShare(r)
+		row(m.name, res.Ranking)
+		if m.method == manirank.MethodFairKemeny {
+			s, ns = aidShare(res.Ranking)
 			fmt.Printf("  merit aid (top 25%%): %d no-subsidy vs %d subsidised students\n", ns, s)
 		}
 	}

@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"manirank/internal/aggregate"
+	"manirank"
 	"manirank/internal/attribute"
-	"manirank/internal/core"
 	"manirank/internal/fairness"
 	"manirank/internal/ranking"
 	"manirank/internal/unfairgen"
@@ -78,25 +77,20 @@ func caseStudyTable(cfg Config, tab *attribute.Table, p ranking.Profile, labels 
 	for i, r := range p {
 		row(labels[i], r)
 	}
-	kopts := cfg.kemenyOptions()
-	row("Kemeny", aggregate.Kemeny(ctx.w, kopts))
-	solvers := []struct {
-		name string
-		run  func() (ranking.Ranking, error)
-	}{
-		{"Fair-Kemeny", func() (ranking.Ranking, error) {
-			return core.FairKemenyW(ctx.w, ctx.targets, core.Options{Kemeny: kopts})
-		}},
-		{"Fair-Schulze", func() (ranking.Ranking, error) { return core.FairSchulzeW(ctx.w, ctx.targets) }},
-		{"Fair-Borda", func() (ranking.Ranking, error) { return core.FairBorda(ctx.p, ctx.targets) }},
-		{"Fair-Copeland", func() (ranking.Ranking, error) { return core.FairCopelandW(ctx.w, ctx.targets) }},
-	}
-	for _, s := range solvers {
-		r, err := s.run()
+	// The consensus rows all route through the case study's one Engine —
+	// five methods over a single shared precedence matrix.
+	for _, s := range []methodSpec{
+		{"", "Kemeny", manirank.MethodKemeny},
+		{"", "Fair-Kemeny", manirank.MethodFairKemeny},
+		{"", "Fair-Schulze", manirank.MethodFairSchulze},
+		{"", "Fair-Borda", manirank.MethodFairBorda},
+		{"", "Fair-Copeland", manirank.MethodFairCopeland},
+	} {
+		res, err := ctx.solve(cfg, s.M, ctx.targets)
 		if err != nil {
-			return fmt.Errorf("experiments: case study %s: %w", s.name, err)
+			return fmt.Errorf("experiments: case study %s: %w", s.Name, err)
 		}
-		row(s.name, r)
+		row(s.Name, res.Ranking)
 	}
 	return tw.Flush()
 }

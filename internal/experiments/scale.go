@@ -70,18 +70,16 @@ func Fig6(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	methods := allMethods(cfg)
+	methods := allMethods()
 	rows := make([]string, len(sizes)*len(methods))
 	err = runCells(cfg.workers(), len(rows), func(i int) error {
 		si, mi := i/len(methods), i%len(methods)
 		ctx, meth := ctxs[si], methods[mi]
-		start := time.Now()
-		r, err := meth.Run(ctx)
-		elapsed := time.Since(start)
+		res, elapsed, err := timedSolve(cfg, ctx, meth.M)
 		if err != nil {
 			return fmt.Errorf("experiments: fig6 |R|=%d %s: %w", sizes[si], meth.Name, err)
 		}
-		rows[i] = fmt.Sprintf("%d\t(%s) %s\t%v\t%.3f\n", sizes[si], meth.ID, meth.Name, elapsed.Round(time.Microsecond), ctx.w.PDLoss(r))
+		rows[i] = fmt.Sprintf("%d\t(%s) %s\t%v\t%.3f\n", sizes[si], meth.ID, meth.Name, elapsed.Round(time.Microsecond), res.PDLoss)
 		return nil
 	})
 	if err != nil {
@@ -174,22 +172,22 @@ func Fig7(cfg Config) error {
 				ctxs[ni] = bc
 				continue
 			}
-			ctxs[di*len(sizes)+ni] = &runCtx{p: bc.p, w: bc.w, tab: bc.tab, targets: core.Targets(bc.tab, deltas[di])}
+			// Same profile, Engine, and matrix as the tight-delta context —
+			// only the targets differ per delta, as in the paper.
+			ctxs[di*len(sizes)+ni] = &runCtx{p: bc.p, eng: bc.eng, w: bc.w, tab: bc.tab, targets: core.Targets(bc.tab, deltas[di])}
 		}
 	}
-	methods := allMethods(cfg)
+	methods := allMethods()
 	rows := make([]string, len(ctxs)*len(methods))
 	err = runCells(cfg.workers(), len(rows), func(i int) error {
 		ci, mi := i/len(methods), i%len(methods)
 		di, ni := ci/len(sizes), ci%len(sizes)
 		ctx, meth := ctxs[ci], methods[mi]
-		start := time.Now()
-		r, err := meth.Run(ctx)
-		elapsed := time.Since(start)
+		res, elapsed, err := timedSolve(cfg, ctx, meth.M)
 		if err != nil {
 			return fmt.Errorf("experiments: fig7 n=%d delta=%.2f %s: %w", sizes[ni], deltas[di], meth.Name, err)
 		}
-		rows[i] = fmt.Sprintf("%.2f\t%d\t(%s) %s\t%v\t%.3f\n", deltas[di], sizes[ni], meth.ID, meth.Name, elapsed.Round(time.Microsecond), ctx.w.PDLoss(r))
+		rows[i] = fmt.Sprintf("%.2f\t%d\t(%s) %s\t%v\t%.3f\n", deltas[di], sizes[ni], meth.ID, meth.Name, elapsed.Round(time.Microsecond), res.PDLoss)
 		return nil
 	})
 	if err != nil {

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"manirank/internal/aggregate"
+	"manirank"
 	"manirank/internal/core"
 	"manirank/internal/fairness"
-	"manirank/internal/ranking"
 	"manirank/internal/unfairgen"
 )
 
@@ -45,15 +44,15 @@ func Fig3(cfg Config) error {
 	if cfg.Quick {
 		rankers = 40
 	}
-	kopts := cfg.kemenyOptions()
 	approaches := []struct {
 		name    string
+		method  manirank.Method
 		targets func(c *runCtx) []core.Target
 	}{
-		{"Kemeny (unaware)", func(*runCtx) []core.Target { return nil }},
-		{"Attribute-only", func(c *runCtx) []core.Target { return core.AttributeTargets(c.tab, 0.1) }},
-		{"Intersection-only", func(c *runCtx) []core.Target { return core.IntersectionTarget(c.tab, 0.1) }},
-		{"MANI-Rank", func(c *runCtx) []core.Target { return core.Targets(c.tab, 0.1) }},
+		{"Kemeny (unaware)", manirank.MethodKemeny, func(*runCtx) []core.Target { return nil }},
+		{"Attribute-only", manirank.MethodFairKemeny, func(c *runCtx) []core.Target { return core.AttributeTargets(c.tab, 0.1) }},
+		{"Intersection-only", manirank.MethodFairKemeny, func(c *runCtx) []core.Target { return core.IntersectionTarget(c.tab, 0.1) }},
+		{"MANI-Rank", manirank.MethodFairKemeny, func(c *runCtx) []core.Target { return core.Targets(c.tab, 0.1) }},
 	}
 	specs, tabs, modals, err := tableIDatasets()
 	if err != nil {
@@ -72,17 +71,11 @@ func Fig3(cfg Config) error {
 		}
 		var b strings.Builder
 		for _, ap := range approaches {
-			targets := ap.targets(ctx)
-			var r ranking.Ranking
-			if len(targets) == 0 {
-				r = aggregate.Kemeny(ctx.w, kopts)
-			} else {
-				r, err = core.FairKemenyW(ctx.w, targets, core.Options{Kemeny: kopts})
-				if err != nil {
-					return fmt.Errorf("experiments: fig3 %s theta=%.1f %s: %w", spec.Name, theta, ap.name, err)
-				}
+			res, err := ctx.solve(cfg, ap.method, ap.targets(ctx))
+			if err != nil {
+				return fmt.Errorf("experiments: fig3 %s theta=%.1f %s: %w", spec.Name, theta, ap.name, err)
 			}
-			fmt.Fprintf(&b, "%s\t%.1f\t%s\t%s\n", spec.Name, theta, ap.name, auditCols(r, tab))
+			fmt.Fprintf(&b, "%s\t%.1f\t%s\t%s\n", spec.Name, theta, ap.name, auditCols(res.Ranking, tab))
 		}
 		rows[i] = b.String()
 		return nil
@@ -123,16 +116,16 @@ func Fig4(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	methods := allMethods(cfg)
+	methods := allMethods()
 	rows := make([]string, len(thetas)*len(methods))
 	err = runCells(cfg.workers(), len(rows), func(i int) error {
 		ti, mi := i/len(methods), i%len(methods)
 		ctx, m := ctxs[ti], methods[mi]
-		r, err := m.Run(ctx)
+		res, err := ctx.solve(cfg, m.M, ctx.targets)
 		if err != nil {
 			return fmt.Errorf("experiments: fig4 theta=%.1f %s: %w", thetas[ti], m.Name, err)
 		}
-		rows[i] = fmt.Sprintf("%.1f\t(%s) %s\t%.3f\t%s\n", thetas[ti], m.ID, m.Name, ctx.w.PDLoss(r), auditCols(r, tab))
+		rows[i] = fmt.Sprintf("%.1f\t(%s) %s\t%.3f\t%s\n", thetas[ti], m.ID, m.Name, res.PDLoss, auditCols(res.Ranking, tab))
 		return nil
 	})
 	if err != nil {
@@ -157,7 +150,6 @@ func Fig5(cfg Config) error {
 	if cfg.Quick {
 		rankers = 40
 	}
-	kopts := cfg.kemenyOptions()
 	out := cfg.out()
 
 	specs, tabs, modals, err := tableIDatasets()
@@ -175,12 +167,16 @@ func Fig5(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		unfair := aggregate.Kemeny(ctx.w, kopts)
-		fair, err := core.FairKemenyW(ctx.w, ctx.targets, core.Options{Kemeny: kopts})
+		unfair, err := ctx.solve(cfg, manirank.MethodKemeny, nil)
 		if err != nil {
 			return err
 		}
-		rowsA[i] = fmt.Sprintf("%s\t%.1f\t%.4f\n", spec.Name, theta, core.PriceOfFairnessW(ctx.w, fair, unfair))
+		fair, err := ctx.solve(cfg, manirank.MethodFairKemeny, ctx.targets)
+		if err != nil {
+			return err
+		}
+		rowsA[i] = fmt.Sprintf("%s\t%.1f\t%.4f\n", spec.Name, theta,
+			core.PriceOfFairnessW(ctx.w, fair.Ranking, unfair.Ranking))
 		return nil
 	})
 	if err != nil {
@@ -201,36 +197,34 @@ func Fig5(cfg Config) error {
 		return err
 	}
 	p := sampleProfile(modal, 0.6, rankers, cellRNG(cfg.Seed, "fig5b"))
-	w, err := ranking.NewPrecedence(p)
+	deltasB := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	// One Engine (and precedence matrix) shared by every delta x method
+	// cell, including the unconstrained reference consensus.
+	bctx, err := newRunCtx(p, tab, deltasB[0])
 	if err != nil {
 		return err
 	}
-	unfair := aggregate.Kemeny(w, kopts)
-	deltaMethods := []struct {
-		id   string
-		name string
-		run  func(targets []core.Target) (ranking.Ranking, error)
-	}{
-		{"A1", "Fair-Kemeny", func(t []core.Target) (ranking.Ranking, error) {
-			return core.FairKemenyW(w, t, core.Options{Kemeny: kopts})
-		}},
-		{"A2", "Fair-Schulze", func(t []core.Target) (ranking.Ranking, error) { return core.FairSchulzeW(w, t) }},
-		{"A3", "Fair-Borda", func(t []core.Target) (ranking.Ranking, error) { return core.FairBorda(p, t) }},
-		{"A4", "Fair-Copeland", func(t []core.Target) (ranking.Ranking, error) { return core.FairCopelandW(w, t) }},
-		{"B4", "Correct-Fairest-Perm", func(t []core.Target) (ranking.Ranking, error) {
-			return core.CorrectFairestPerm(p, t)
-		}},
+	unfair, err := bctx.solve(cfg, manirank.MethodKemeny, nil)
+	if err != nil {
+		return err
 	}
-	deltas := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
-	rowsB := make([]string, len(deltas)*len(deltaMethods))
+	deltaMethods := []methodSpec{
+		{"A1", "Fair-Kemeny", manirank.MethodFairKemeny},
+		{"A2", "Fair-Schulze", manirank.MethodFairSchulze},
+		{"A3", "Fair-Borda", manirank.MethodFairBorda},
+		{"A4", "Fair-Copeland", manirank.MethodFairCopeland},
+		{"B4", "Correct-Fairest-Perm", manirank.MethodCorrectFairestPerm},
+	}
+	rowsB := make([]string, len(deltasB)*len(deltaMethods))
 	err = runCells(cfg.workers(), len(rowsB), func(i int) error {
 		deltaIdx, mi := i/len(deltaMethods), i%len(deltaMethods)
-		delta, dm := deltas[deltaIdx], deltaMethods[mi]
-		fair, err := dm.run(core.Targets(tab, delta))
+		delta, dm := deltasB[deltaIdx], deltaMethods[mi]
+		fair, err := bctx.solve(cfg, dm.M, core.Targets(tab, delta))
 		if err != nil {
-			return fmt.Errorf("experiments: fig5 delta=%.1f %s: %w", delta, dm.name, err)
+			return fmt.Errorf("experiments: fig5 delta=%.1f %s: %w", delta, dm.Name, err)
 		}
-		rowsB[i] = fmt.Sprintf("%.1f\t(%s) %s\t%.4f\n", delta, dm.id, dm.name, core.PriceOfFairnessW(w, fair, unfair))
+		rowsB[i] = fmt.Sprintf("%.1f\t(%s) %s\t%.4f\n", delta, dm.ID, dm.Name,
+			core.PriceOfFairnessW(bctx.w, fair.Ranking, unfair.Ranking))
 		return nil
 	})
 	if err != nil {
@@ -257,15 +251,17 @@ func Fig2(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	kopts := cfg.kemenyOptions()
-	kem := aggregate.Kemeny(ctx.w, kopts)
-	fair, err := core.FairKemenyW(ctx.w, ctx.targets, core.Options{Kemeny: kopts})
+	kem, err := ctx.solve(cfg, manirank.MethodKemeny, nil)
+	if err != nil {
+		return err
+	}
+	fair, err := ctx.solve(cfg, manirank.MethodFairKemeny, ctx.targets)
 	if err != nil {
 		return err
 	}
 	tw := newTabWriter(cfg.out())
 	fmt.Fprintln(tw, "Consensus\tARP_Gender\tARP_Race\tIRP\tPD_Loss")
-	fmt.Fprintf(tw, "Kemeny\t%s\t%.3f\n", auditCols(kem, study.Table), ctx.w.PDLoss(kem))
-	fmt.Fprintf(tw, "MANI-Rank\t%s\t%.3f\n", auditCols(fair, study.Table), ctx.w.PDLoss(fair))
+	fmt.Fprintf(tw, "Kemeny\t%s\t%.3f\n", auditCols(kem.Ranking, study.Table), kem.PDLoss)
+	fmt.Fprintf(tw, "MANI-Rank\t%s\t%.3f\n", auditCols(fair.Ranking, study.Table), fair.PDLoss)
 	return tw.Flush()
 }

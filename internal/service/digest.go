@@ -52,7 +52,12 @@ func Digests(req *AggregateRequest) (full, profile string) {
 
 	h := sha256.New()
 	writeString(h, digestVersion)
-	writeString(h, strings.ToLower(req.Method))
+	// Method names are canonicalised exactly the way manirank.ParseMethod
+	// accepts them (trimmed, lowercased): a request spelling the method
+	// " Kemeny " must share its cache entry — and its coalesced flight —
+	// with "kemeny". For clean inputs the bytes are unchanged, so existing
+	// digests are stable.
+	writeString(h, strings.ToLower(strings.TrimSpace(req.Method)))
 
 	writeFloat(h, req.Delta)
 	// The intersection key is matched case-insensitively at build time, so

@@ -146,3 +146,18 @@ func TestDigestNoFieldConcatenationCollisions(t *testing.T) {
 		t.Fatal("shifted attribute name/value boundary collided")
 	}
 }
+
+// TestDigestCanonicalisesMethodSpelling pins the method-name canonical
+// form to what manirank.ParseMethod accepts: padding and case must not
+// fragment the cache — " Fair-Kemeny " and "fair-kemeny" are one entry,
+// one coalesced flight.
+func TestDigestCanonicalisesMethodSpelling(t *testing.T) {
+	want := Digest(baseRequest())
+	for _, spelling := range []string{"Fair-Kemeny", " fair-kemeny ", "\tFAIR-KEMENY\n"} {
+		req := baseRequest()
+		req.Method = spelling
+		if got := Digest(req); got != want {
+			t.Errorf("method spelling %q digests to %s, canonical digests to %s", spelling, got, want)
+		}
+	}
+}

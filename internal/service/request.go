@@ -4,18 +4,18 @@ import (
 	"fmt"
 	"strings"
 
+	"manirank"
 	"manirank/internal/attribute"
 	"manirank/internal/core"
 	"manirank/internal/ranking"
 )
 
 // Methods lists every consensus method the service exposes, in the order
-// they are documented. Fair variants require Attributes plus Delta or
-// Thresholds.
-var Methods = []string{
-	"borda", "copeland", "schulze", "kemeny",
-	"fair-borda", "fair-copeland", "fair-schulze", "fair-kemeny",
-}
+// they are documented. It is derived from the engine registry
+// (manirank.Methods), so the service's accepted values can never drift
+// from the library's or the CLI's. Fair variants require Attributes plus
+// Delta or Thresholds.
+var Methods = manirank.MethodNames()
 
 // AttributeSpec is the wire form of one protected attribute: a name, its
 // value domain, and each candidate's value index.
@@ -78,7 +78,7 @@ func (req *AggregateRequest) IsFair() bool {
 // request digest for the result tier, the profile sub-digest for the
 // precedence-matrix tier).
 type problem struct {
-	method     string
+	method     manirank.Method
 	profile    ranking.Profile
 	tab        *attribute.Table // nil when no attributes were given
 	targets    []core.Target    // nil for unfair methods
@@ -94,15 +94,11 @@ func interThresholdKey(k string) bool { return strings.EqualFold(k, "intersectio
 // buildProblem validates req and lowers it onto the domain types. Every
 // error is a client error (HTTP 400).
 func buildProblem(req *AggregateRequest) (*problem, error) {
-	method := strings.ToLower(req.Method)
-	known := false
-	for _, m := range Methods {
-		if m == method {
-			known = true
-			break
-		}
-	}
-	if !known {
+	method, err := manirank.ParseMethod(req.Method)
+	if err != nil || method.Baseline() {
+		// Baselines parse (the registry knows them) but are not part of the
+		// served surface; reject them with the same message an unknown name
+		// gets, listing exactly the methods this endpoint accepts.
 		return nil, fmt.Errorf("unknown method %q (want one of %s)", req.Method, strings.Join(Methods, ", "))
 	}
 	if len(req.Profile) == 0 {
@@ -157,10 +153,10 @@ func buildProblem(req *AggregateRequest) (*problem, error) {
 		return pb, nil
 	}
 	if pb.tab == nil {
-		return nil, fmt.Errorf("method %q requires attributes", method)
+		return nil, fmt.Errorf("method %q requires attributes", method.String())
 	}
 	if req.Delta == 0 && len(req.Thresholds) == 0 {
-		return nil, fmt.Errorf("method %q requires delta or thresholds", method)
+		return nil, fmt.Errorf("method %q requires delta or thresholds", method.String())
 	}
 	deltaFor := func(name string, inter bool) (float64, error) {
 		d := req.Delta
@@ -190,4 +186,4 @@ func buildProblem(req *AggregateRequest) (*problem, error) {
 }
 
 // IsFair reports whether the problem enforces fairness targets.
-func (pb *problem) IsFair() bool { return strings.HasPrefix(pb.method, "fair-") }
+func (pb *problem) IsFair() bool { return pb.method.IsFair() }

@@ -1,6 +1,8 @@
 // Package service is manirankd's serving layer: an HTTP JSON API over the
-// MANI-Rank solvers with three server-grade layers on top of the compute
-// core —
+// manirank.Engine solver registry (every request resolves its method via
+// manirank.ParseMethod and solves through Engine.Solve on the shared,
+// cached precedence matrix) with three server-grade layers on top of the
+// compute core —
 //
 //  1. two cache tiers (internal/service/cache), both keyed by canonical
 //     SHA-256 digests and both single-flight coalesced: a result cache over
@@ -34,9 +36,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"manirank"
 	"manirank/internal/aggregate"
-	"manirank/internal/core"
-	"manirank/internal/fairness"
 	"manirank/internal/kemeny"
 	"manirank/internal/ranking"
 	"manirank/internal/service/cache"
@@ -302,70 +303,46 @@ func (s *Server) precedence(pb *problem) (*ranking.Precedence, error) {
 	return v.(*ranking.Precedence), nil
 }
 
-// solve runs one problem on the compute core. ctx carries the request
+// solve runs one problem on the engine registry. ctx carries the request
 // deadline; the Kemeny engines return best-so-far on expiry, so a partial
 // result is still a valid (and for fair methods, feasible) ranking.
 //
-// Every method — Borda included — consumes the shared precedence matrix:
-// BordaW / FairBordaW derive integer-identical point totals from W's row
-// sums, so routing through the tier never changes an answer, and the
-// PD-loss reported below divides the same integers whether computed from W
-// or from the raw profile. (A Borda-only workload pays one O(n²·m) build on
-// a cold profile where O(n·m) would do; the tier amortises it across every
-// later method and request on that profile.)
+// The cached precedence matrix is wrapped in a manirank.Engine (a cheap
+// three-pointer struct) so the service shares the exact dispatch path of
+// the library and the CLI: every method — Borda included — consumes the
+// shared W (BordaW / FairBordaW derive integer-identical point totals from
+// W's row sums, so routing through the tier never changes an answer), the
+// Result's PD loss divides the same integers whether computed from W or
+// from the raw profile, and the partial flag is sampled by the registry
+// immediately after the cancellable engines return (a deadline lapsing
+// during audit bookkeeping can never mislabel a complete result and evict
+// it from cacheability).
 func (s *Server) solve(ctx context.Context, pb *problem) (*result, error) {
 	w, err := s.precedence(pb)
 	if err != nil {
 		return nil, err
 	}
-	kopts := s.kemenyOptions(pb.opts)
-	var (
-		r       ranking.Ranking
-		partial bool
-	)
-	switch pb.method {
-	case "borda":
-		r = aggregate.BordaW(w)
-	case "copeland":
-		r = aggregate.Copeland(w)
-	case "schulze":
-		r = aggregate.Schulze(w)
-	case "kemeny":
-		r = aggregate.KemenyCtx(ctx, w, kopts)
-		partial = ctx.Err() != nil
-	case "fair-borda":
-		r, err = core.FairBordaW(w, pb.targets)
-	case "fair-copeland":
-		r, err = core.FairCopelandW(w, pb.targets)
-	case "fair-schulze":
-		r, err = core.FairSchulzeW(w, pb.targets)
-	case "fair-kemeny":
-		r, err = core.FairKemenyWCtx(ctx, w, pb.targets, core.Options{Kemeny: kopts})
-		partial = err == nil && ctx.Err() != nil
-	default:
-		err = fmt.Errorf("service: unreachable method %q", pb.method)
+	eng, err := manirank.NewEngineW(w, manirank.WithTable(pb.tab))
+	if err != nil {
+		return nil, err
 	}
+	sr, err := eng.Solve(ctx, pb.method, pb.targets,
+		manirank.WithKemenyOptions(s.kemenyOptions(pb.opts)))
 	if err != nil {
 		return nil, err
 	}
 	res := &result{
-		Ranking: r,
-		Method:  pb.method,
-		PDLoss:  w.PDLoss(r),
-		// partial was sampled immediately after the cancellable engines
-		// returned (only the Kemeny-based methods react to ctx; the
-		// polynomial methods always run to completion, so a deadline that
-		// lapses during their PDLoss/audit bookkeeping must not mislabel a
-		// complete result and evict it from cacheability).
-		Partial: partial,
+		Ranking: sr.Ranking,
+		Method:  pb.method.String(),
+		PDLoss:  sr.PDLoss,
+		Partial: sr.Partial,
 	}
-	if pb.tab != nil {
-		rep := fairness.Audit(r, pb.tab)
-		arps := make(map[string]float64, len(rep.ARPs))
+	if sr.Report != nil {
+		arps := make(map[string]float64, len(sr.Report.ARPs))
 		for i, a := range pb.tab.Attrs() {
-			arps[a.Name] = rep.ARPs[i]
+			arps[a.Name] = sr.Report.ARPs[i]
 		}
-		res.Audit = &auditPayload{ARPs: arps, IRP: rep.IRP}
+		res.Audit = &auditPayload{ARPs: arps, IRP: sr.Report.IRP}
 	}
 	return res, nil
 }
@@ -502,7 +479,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.countStatus(http.StatusOK)
 	s.log.Info("aggregate",
-		"method", pb.method,
+		"method", pb.method.String(),
 		"digest", digest[:12],
 		"n", pb.profile.N(),
 		"rankers", len(pb.profile),

@@ -15,17 +15,25 @@
 //	table, _ := manirank.NewTable(4,
 //	    manirank.MustAttribute("Gender", []string{"M", "W"}, []int{0, 1, 0, 1}))
 //	profile := manirank.Profile{{0, 1, 2, 3}, {1, 0, 3, 2}}
-//	consensus, _ := manirank.FairKemeny(profile, manirank.Targets(table, 0.1), manirank.Options{})
-//	report := manirank.Audit(consensus, table)
+//	engine, _ := manirank.NewEngine(profile, manirank.WithTable(table))
+//	res, _ := engine.Solve(ctx, manirank.MethodFairKemeny, manirank.Targets(table, 0.1))
+//	// res.Ranking, res.PDLoss, res.Report — the consensus plus its audit.
 //
-// The solver family mirrors the paper: FairKemeny is exact (branch and
-// bound with fairness pruning) for small candidate sets and a constrained
-// local search at scale; FairCopeland, FairSchulze and FairBorda run in
+// The Engine is the package's entry point (API v2): constructed once per
+// profile, it owns the shared precedence matrix every method consumes and
+// resolves Method values through a single registry, so solving several
+// methods over one profile pays the O(n²·m) matrix construction once. The
+// solver family mirrors the paper: fair-kemeny is exact (branch and bound
+// with fairness pruning) for small candidate sets and a constrained local
+// search at scale; fair-copeland, fair-schulze and fair-borda run in
 // polynomial time using the Make-MR-Fair repair algorithm. Fairness-unaware
-// aggregators and the paper's baselines are also exposed for comparison.
+// aggregators and the paper's baselines are also registered for comparison.
+// The per-method functions below (FairKemeny, Borda, ...) predate the
+// Engine and remain as deprecated wrappers with identical output.
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the full
-// reproduction of the paper's evaluation.
+// See DESIGN.md (§8 for the Engine architecture and the old→new migration
+// table) and EXPERIMENTS.md for the full reproduction of the paper's
+// evaluation.
 package manirank
 
 import (
@@ -68,10 +76,18 @@ type Thresholds = fairness.Thresholds
 
 // Options tunes the MFCR solvers (exact-search thresholds, node budgets,
 // heuristic seeds).
+//
+// Deprecated: configure Engine.Solve with functional SolveOptions instead
+// (WithSeed, WithExactThreshold, ...); WithKemenyOptions imports an
+// existing configuration wholesale.
 type Options = core.Options
 
 // KemenyOptions tunes the Kemeny engines used by the fairness-unaware
 // baseline and inside FairKemeny.
+//
+// Deprecated: configure Engine.Solve with functional SolveOptions instead
+// (WithSeed, WithExactThreshold, ...); WithKemenyOptions imports an
+// existing configuration wholesale.
 type KemenyOptions = aggregate.KemenyOptions
 
 // MallowsModel is the exponential location-spread distribution over rankings
@@ -179,28 +195,46 @@ func MakeMRFair(r Ranking, targets []Target) (Ranking, error) {
 // FairKemeny solves MFCR optimally for small candidate sets (constrained
 // branch and bound) and with constrained local search at scale (paper
 // Algorithm 1).
+//
+// Deprecated: use Engine.Solve with MethodFairKemeny — same output
+// bitwise, with context cancellation, a shared precedence matrix across
+// methods, and the audit/PD-loss bundled in the Result.
 func FairKemeny(p Profile, targets []Target, opts Options) (Ranking, error) {
 	return core.FairKemeny(p, targets, opts)
 }
 
 // FairCopeland solves MFCR with the Copeland aggregator + Make-MR-Fair.
+//
+// Deprecated: use Engine.Solve with MethodFairCopeland — same output
+// bitwise over the Engine's shared precedence matrix.
 func FairCopeland(p Profile, targets []Target) (Ranking, error) {
 	return core.FairCopeland(p, targets)
 }
 
 // FairSchulze solves MFCR with the Schulze aggregator + Make-MR-Fair.
+//
+// Deprecated: use Engine.Solve with MethodFairSchulze — same output
+// bitwise over the Engine's shared precedence matrix.
 func FairSchulze(p Profile, targets []Target) (Ranking, error) {
 	return core.FairSchulze(p, targets)
 }
 
 // FairBorda solves MFCR with the Borda aggregator + Make-MR-Fair — the
 // fastest method, suitable for very large candidate databases.
+//
+// Deprecated: use Engine.Solve with MethodFairBorda — same output bitwise.
+// (For Borda-only workloads over very large candidate sets where an O(n²)
+// matrix is unaffordable, this wrapper's O(n·|R|) profile path remains the
+// right tool; the Engine targets multi-method workloads.)
 func FairBorda(p Profile, targets []Target) (Ranking, error) {
 	return core.FairBorda(p, targets)
 }
 
 // Kemeny returns the fairness-unaware Kemeny consensus of a profile: exact
 // for small n, Borda-seeded iterated local search at scale.
+//
+// Deprecated: use Engine.Solve with MethodKemeny — same output bitwise,
+// with context cancellation and best-so-far results on expiry.
 func Kemeny(p Profile, opts KemenyOptions) (Ranking, error) {
 	w, err := ranking.NewPrecedence(p)
 	if err != nil {
@@ -210,9 +244,16 @@ func Kemeny(p Profile, opts KemenyOptions) (Ranking, error) {
 }
 
 // Borda returns the fairness-unaware Borda consensus.
+//
+// Deprecated: use Engine.Solve with MethodBorda — same output bitwise
+// (integer-identical point totals from the matrix's row sums). The O(n·|R|)
+// escape hatch note on FairBorda applies here too.
 func Borda(p Profile) (Ranking, error) { return aggregate.Borda(p) }
 
 // Copeland returns the fairness-unaware Copeland consensus.
+//
+// Deprecated: use Engine.Solve with MethodCopeland — same output bitwise
+// over the Engine's shared precedence matrix.
 func Copeland(p Profile) (Ranking, error) {
 	w, err := ranking.NewPrecedence(p)
 	if err != nil {
@@ -222,6 +263,9 @@ func Copeland(p Profile) (Ranking, error) {
 }
 
 // Schulze returns the fairness-unaware Schulze consensus.
+//
+// Deprecated: use Engine.Solve with MethodSchulze — same output bitwise
+// over the Engine's shared precedence matrix.
 func Schulze(p Profile) (Ranking, error) {
 	w, err := ranking.NewPrecedence(p)
 	if err != nil {

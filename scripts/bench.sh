@@ -8,7 +8,10 @@ cd "$(dirname "$0")/.."
 N="${1:-1}"
 OUT="BENCH_${N}.json"
 
-BENCHES='BenchmarkPrecedenceMatrix100x150|BenchmarkMakeMRFair90|BenchmarkMallowsSample90|BenchmarkPlackettLuce100k|BenchmarkAblationILSBordaInit|BenchmarkHeuristicRestartsW1|BenchmarkHeuristicRestartsW4'
+# BenchmarkEngineSolveAll vs BenchmarkPerCallSolveAll is the Engine API v2
+# pair: all eight methods over one shared precedence matrix versus the
+# deprecated per-call entry points rebuilding it per method.
+BENCHES='BenchmarkPrecedenceMatrix100x150|BenchmarkMakeMRFair90|BenchmarkMallowsSample90|BenchmarkPlackettLuce100k|BenchmarkAblationILSBordaInit|BenchmarkHeuristicRestartsW1|BenchmarkHeuristicRestartsW4|BenchmarkEngineSolveAll|BenchmarkPerCallSolveAll'
 SCHULZE='BenchmarkSchulze500|BenchmarkSchulze500Dense'
 
 RAW="$(go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-1s}" .)
