@@ -9,9 +9,11 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"manirank"
+	"manirank/internal/aggregate"
 	"manirank/internal/core"
 	"manirank/internal/experiments"
 	"manirank/internal/kemeny"
@@ -339,3 +341,179 @@ func BenchmarkHeuristicRestartsW1(b *testing.B) { benchHeuristicRestarts(b, 1) }
 
 // BenchmarkHeuristicRestartsW4 shards the restarts over 4 workers.
 func BenchmarkHeuristicRestartsW4(b *testing.B) { benchHeuristicRestarts(b, 4) }
+
+// --- Incremental fairness engine benches (PR 6, DESIGN.md Section 9) ---
+
+// skipIfShort gates the fairness-scale macro-benchmarks (seconds to minutes
+// per iteration — the full-audit baseline alone runs ~35 minutes) out of the
+// CI bench-smoke stage, which passes -short; scripts/bench.sh runs them for
+// real when recording BENCH_<n>.json.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("macro benchmark; run via scripts/bench.sh")
+	}
+}
+
+// fairScaleInstance builds the constrained-descent workload at candidate
+// scale n: a concentrated Plackett-Luce profile (theta 3.0 — strong pairwise
+// margins, so the descent converges in a bounded number of passes instead of
+// chasing noise) over the paper's attribute shape, MANI-Rank targets at
+// Delta 0.1, and a feasible start (Borda seed repaired by Make-MR-Fair) —
+// exactly the state Fair-Kemeny hands to its seed descent. The matrix, constraints, and start are all built in setup so the
+// timed region is the descent alone.
+func fairScaleInstance(b *testing.B, n, m int) (*ranking.Precedence, []kemeny.Constraint, ranking.Ranking) {
+	b.Helper()
+	tab, err := unfairgen.PaperTable(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	p := mallows.MustNewPlackettLuce(unfairgen.BlockRanking(tab), 3.0).SampleProfile(m, rng)
+	w := ranking.MustPrecedence(p)
+	targets := core.Targets(tab, 0.1)
+	start, err := core.MakeMRFair(kemeny.BordaFromPrecedence(w), targets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons := make([]kemeny.Constraint, len(targets))
+	for i, tg := range targets {
+		cons[i] = kemeny.Constraint{Attr: tg.Attr, Delta: tg.Delta}
+	}
+	return w, cons, start
+}
+
+// BenchmarkConstrainedDescent5k measures the feasibility-preserving descent
+// at n = 5000 through the incremental parity auditor (O(groups log n) per
+// trial move). Compare with BenchmarkConstrainedDescentFullAudit5k — the
+// identical descent paying the pre-PR-6 full fairness recompute per trial —
+// for the speedup BENCH_6.json tracks.
+func BenchmarkConstrainedDescent5k(b *testing.B) {
+	skipIfShort(b)
+	w, cons, start := fairScaleInstance(b, 4995, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kemeny.ConstrainedLocalSearch(w, cons, start)
+	}
+}
+
+// fullAuditDescent is the pre-PR-6 constrained descent expressed through
+// exported APIs only: every trial move mutates the ranking, pays a full
+// kemeny.Feasible audit (O(n) per constraint), and undoes on infeasibility.
+// It exists as the benchmark baseline for the incremental auditor. Candidate
+// ordering uses the same stable ascending-delta sequence as the live engine
+// (sort.SliceStable here, a lazy heap there), so the benchmark pair isolates
+// the audit cost, not the sort.
+func fullAuditDescent(w *ranking.Precedence, cons []kemeny.Constraint, start ranking.Ranking) ranking.Ranking {
+	r := start.Clone()
+	n := len(r)
+	type clsMove struct{ pos, delta int }
+	var moves []clsMove
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < n; i++ {
+			c := r[i]
+			cands := moves[:0]
+			delta := 0
+			for j := i - 1; j >= 0; j-- {
+				y := r[j]
+				delta += w.At(c, y) - w.At(y, c)
+				if delta < 0 {
+					cands = append(cands, clsMove{j, delta})
+				}
+			}
+			delta = 0
+			for j := i + 1; j < n; j++ {
+				y := r[j]
+				delta -= w.At(c, y) - w.At(y, c)
+				if delta < 0 {
+					cands = append(cands, clsMove{j, delta})
+				}
+			}
+			moves = cands[:0]
+			sort.SliceStable(cands, func(a, b int) bool { return cands[a].delta < cands[b].delta })
+			for _, mv := range cands {
+				r.MoveTo(i, mv.pos)
+				if kemeny.Feasible(r, cons) {
+					improved = true
+					break
+				}
+				r.MoveTo(mv.pos, i) // undo
+			}
+		}
+	}
+	return r
+}
+
+// BenchmarkConstrainedDescentFullAudit5k is the full-recompute baseline for
+// BenchmarkConstrainedDescent5k (and sanity-checks that both descents land
+// on the same ranking).
+func BenchmarkConstrainedDescentFullAudit5k(b *testing.B) {
+	skipIfShort(b)
+	w, cons, start := fairScaleInstance(b, 4995, 8)
+	want := kemeny.ConstrainedLocalSearch(w, cons, start)
+	b.ResetTimer()
+	var got ranking.Ranking
+	for i := 0; i < b.N; i++ {
+		got = fullAuditDescent(w, cons, start)
+	}
+	b.StopTimer()
+	if !got.Equal(want) {
+		b.Fatal("full-audit baseline diverged from incremental descent")
+	}
+}
+
+// BenchmarkMakeMRFair5k measures one full repair of a maximally unfair
+// 5000-candidate block ranking to Delta = 0.1 (paper Table III scale).
+func BenchmarkMakeMRFair5k(b *testing.B) {
+	skipIfShort(b)
+	r, targets := ablationSetup(b, 4995)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MakeMRFair(r, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMakeMRFair10k is BenchmarkMakeMRFair5k at n = 10000.
+func BenchmarkMakeMRFair10k(b *testing.B) {
+	skipIfShort(b)
+	r, targets := ablationSetup(b, 9990)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MakeMRFair(r, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFairKemeny measures the full Fair-Kemeny solve (unconstrained
+// heuristic, Make-MR-Fair repair, constrained seed descent; restarts
+// disabled so the cost is one descent, matching the scalability figures'
+// single-shot runs) on a prebuilt matrix at candidate scale n.
+func benchFairKemeny(b *testing.B, n int) {
+	b.Helper()
+	skipIfShort(b)
+	tab, err := unfairgen.PaperTable(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	p := mallows.MustNewPlackettLuce(unfairgen.BlockRanking(tab), 3.0).SampleProfile(8, rng)
+	w := ranking.MustPrecedence(p)
+	targets := core.Targets(tab, 0.1)
+	opts := core.Options{Kemeny: aggregate.KemenyOptions{Heuristic: kemeny.Options{Workers: 1, Perturbations: -1}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FairKemenyW(w, targets, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFairKemeny5k runs Fair-Kemeny at n = 5000.
+func BenchmarkFairKemeny5k(b *testing.B) { benchFairKemeny(b, 4995) }
+
+// BenchmarkFairKemeny10k runs Fair-Kemeny at n = 10000.
+func BenchmarkFairKemeny10k(b *testing.B) { benchFairKemeny(b, 9990) }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +51,7 @@ func main() {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request compute deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper bound on client-requested deadlines")
 	logLevel := flag.String("log-level", "info", "debug|info|warn|error")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	var level slog.Level
@@ -80,6 +82,26 @@ func main() {
 		os.Exit(2)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Profiling stays off the serving mux: it is opt-in (-pprof-addr) and
+	// binds its own listener, so exposing /v1/aggregate never exposes
+	// /debug/pprof with it. EXPERIMENTS.md documents capturing a solve-path
+	// CPU profile against this endpoint.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: pm}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof listener", "error", err)
+			}
+		}()
+	}
 
 	done := make(chan struct{})
 	go func() {

@@ -98,11 +98,11 @@ func MakeMRFairWithPolicy(r ranking.Ranking, targets []Target, policy RepairPoli
 				i1, j1, ok1 = i2, j2, ok2
 				ok2 = false
 			}
-			if ok1 && eng.potentialAfter(i1, j1) < cur-1e-15 {
+			if ok1 && eng.potentialAfter(i1, j1) < cur-improveEps {
 				eng.swap(i1, j1)
 				continue
 			}
-			if ok2 && eng.potentialAfter(i2, j2) < cur-1e-15 {
+			if ok2 && eng.potentialAfter(i2, j2) < cur-improveEps {
 				eng.swap(i2, j2)
 				continue
 			}

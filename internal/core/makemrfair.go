@@ -4,9 +4,19 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
+	"manirank/internal/fairness"
 	"manirank/internal/ranking"
 )
+
+// improveEps is the strict-improvement margin of the repair loop's
+// lexicographic (potential, band) acceptance: a swap counts as progress only
+// when it moves a score by more than this. It is deliberately finer than
+// fairness.Eps — the feasibility band — because improvement deltas are
+// single-win quanta (1/omega_M steps) that can be orders of magnitude
+// smaller than the Delta comparisons fairness.Eps absorbs.
+const improveEps = 1e-15
 
 // ErrUnrepairable reports that Make-MR-Fair could not find a pair swap that
 // reduces the worst parity violation; this happens only for thresholds that
@@ -77,11 +87,11 @@ func MakeMRFair(r ranking.Ranking, targets []Target) (ranking.Ranking, error) {
 			i1, j1, ok1 = i2, j2, ok2
 			ok2 = false
 		}
-		if ok1 && eng.potentialAfter(i1, j1) < cur-1e-15 {
+		if ok1 && eng.potentialAfter(i1, j1) < cur-improveEps {
 			eng.swap(i1, j1)
 			continue
 		}
-		if ok2 && eng.potentialAfter(i2, j2) < cur-1e-15 {
+		if ok2 && eng.potentialAfter(i2, j2) < cur-improveEps {
 			eng.swap(i2, j2)
 			continue
 		}
@@ -107,21 +117,31 @@ func MakeMRFair(r ranking.Ranking, targets []Target) (ranking.Ranking, error) {
 }
 
 // parityEngine tracks the FPR spread of every target incrementally across
-// pair swaps of a working ranking.
+// pair swaps of a working ranking. Since PR 6 it is a thin coordinator over
+// fairness.Tracker instances — one per target plus one for the joint
+// (cross-product) grouping — which maintain the win counters and per-group
+// sorted position lists that make findSwap, findCappedSwap, and the
+// global-transfer candidate enumeration incremental instead of O(n·g)
+// rescans per repair iteration.
 type parityEngine struct {
 	r    ranking.Ranking
 	pos  []int
 	tgts []Target
-	// wins[k][v] = mixed pairs currently won by group v of target k.
+	// trk[k] is target k's incremental fairness state.
+	trk []*fairness.Tracker
+	// wins[k][v] = mixed pairs currently won by group v of target k; live
+	// views into trk[k]'s counters, kept for the O(groups) preview loops
+	// (spreadAfterTransfer, bandAfter) and the parity property tests.
 	wins [][]int
 	// omegaM[k][v] = total mixed pairs of group v (0 for empty/universal).
 	omegaM [][]int
-	// jointOf[c] is candidate c's group in the joint (cross-product)
-	// structure over all target attributes; swap candidates are enumerated
-	// between joint groups because they subsume every target's own group
-	// pairs while offering the finest-grained moves (e.g. a cross-gender
-	// swap within one race). nil when the occupied combination count
-	// exceeds maxJointGroups.
+	// joint tracks the joint (cross-product) grouping over all target
+	// attributes; swap candidates are enumerated between joint groups
+	// because they subsume every target's own group pairs while offering
+	// the finest-grained moves (e.g. a cross-gender swap within one race).
+	// nil when the occupied combination count exceeds maxJointGroups.
+	joint *fairness.Tracker
+	// jointOf[c] is candidate c's joint group; nil exactly when joint is.
 	jointOf []int
 	jointG  int
 }
@@ -135,25 +155,17 @@ func newParityEngine(r ranking.Ranking, targets []Target) *parityEngine {
 		r:      r.Clone(),
 		pos:    r.Positions(),
 		tgts:   targets,
+		trk:    make([]*fairness.Tracker, len(targets)),
 		wins:   make([][]int, len(targets)),
 		omegaM: make([][]int, len(targets)),
 	}
-	n := len(r)
 	for k, tg := range targets {
+		eng.trk[k] = fairness.NewTracker(eng.r, tg.Attr)
+		eng.wins[k] = eng.trk[k].Wins()
 		g := tg.Attr.DomainSize()
-		sizes := tg.Attr.GroupSizes()
-		eng.wins[k] = make([]int, g)
 		eng.omegaM[k] = make([]int, g)
-		seen := make([]int, g)
-		for i, c := range eng.r {
-			v := tg.Attr.Of[c]
-			below := n - 1 - i
-			sameBelow := sizes[v] - seen[v] - 1
-			eng.wins[k][v] += below - sameBelow
-			seen[v]++
-		}
 		for v := 0; v < g; v++ {
-			eng.omegaM[k][v] = sizes[v] * (n - sizes[v])
+			eng.omegaM[k][v] = eng.trk[k].OmegaM(v)
 		}
 	}
 	eng.buildJoint()
@@ -185,30 +197,18 @@ func (eng *parityEngine) buildJoint() {
 	}
 	eng.jointOf = joint
 	eng.jointG = len(index)
+	eng.joint = fairness.NewGroupTracker(eng.r, joint, eng.jointG)
 }
 
 // fpr returns the current FPR of group v under target k (0.5 for groups with
 // no mixed pairs, mirroring the fairness package).
 func (eng *parityEngine) fpr(k, v int) float64 {
-	if eng.omegaM[k][v] == 0 {
-		return 0.5
-	}
-	return float64(eng.wins[k][v]) / float64(eng.omegaM[k][v])
+	return eng.trk[k].FPR(v)
 }
 
 // spread returns the current ARP of target k.
 func (eng *parityEngine) spread(k int) float64 {
-	lo, hi := 2.0, -1.0
-	for v := 0; v < eng.tgts[k].Attr.DomainSize(); v++ {
-		f := eng.fpr(k, v)
-		if f < lo {
-			lo = f
-		}
-		if f > hi {
-			hi = f
-		}
-	}
-	return hi - lo
+	return eng.trk[k].Spread()
 }
 
 // worstTarget returns the index of the violated target with the largest
@@ -217,7 +217,7 @@ func (eng *parityEngine) worstTarget() int {
 	worst, idx := 0.0, -1
 	for k, tg := range eng.tgts {
 		s := eng.spread(k)
-		if s > tg.Delta+1e-12 && s > worst {
+		if s > tg.Delta+fairness.Eps && s > worst {
 			worst, idx = s, k
 		}
 	}
@@ -247,23 +247,26 @@ func (eng *parityEngine) extremeGroups(k int) (vh, vl int) {
 // such Glowest member below it (the first unfavored Glowest candidate among
 // its ordered mixed pairs). When the lowest Ghighest member has no Glowest
 // candidate below it, the anchor moves up through Ghighest (paper Algorithm
-// 2's "next lowest xi" clause). A single bottom-up scan finds the pair in
-// O(n). ok is false only when every Glowest member is ranked above every
-// Ghighest member, in which case no corrective swap exists.
+// 2's "next lowest xi" clause). Two binary searches on the tracker's sorted
+// position lists find the pair in O(log n) — the historical bottom-up scan's
+// answer is exactly "the largest vh position below some vl member, paired
+// with the first vl position after it". ok is false only when every Glowest
+// member is ranked above every Ghighest member, in which case no corrective
+// swap exists.
 func (eng *parityEngine) findSwap(k, vh, vl int) (i, j int, ok bool) {
-	of := eng.tgts[k].Attr.Of
-	nearestVLBelow := -1
-	for p := len(eng.r) - 1; p >= 0; p-- {
-		switch of[eng.r[p]] {
-		case vh:
-			if nearestVLBelow >= 0 {
-				return p, nearestVLBelow, true
-			}
-		case vl:
-			nearestVLBelow = p
-		}
+	ph := eng.trk[k].Positions(vh)
+	pl := eng.trk[k].Positions(vl)
+	if len(ph) == 0 || len(pl) == 0 {
+		return 0, 0, false
 	}
-	return 0, 0, false
+	// Largest vh position above the bottom-most vl member.
+	hi := sort.SearchInts(ph, pl[len(pl)-1])
+	if hi == 0 {
+		return 0, 0, false
+	}
+	i = ph[hi-1]
+	j = pl[sort.SearchInts(pl, i+1)]
+	return i, j, true
 }
 
 // potential returns the total violation across all targets:
@@ -271,7 +274,7 @@ func (eng *parityEngine) findSwap(k, vh, vl int) (i, j int, ok bool) {
 func (eng *parityEngine) potential() float64 {
 	p := 0.0
 	for k, tg := range eng.tgts {
-		if s := eng.spread(k); s > tg.Delta+1e-12 {
+		if s := eng.spread(k); s > tg.Delta+fairness.Eps {
 			p += s - tg.Delta
 		}
 	}
@@ -288,7 +291,7 @@ func (eng *parityEngine) potentialAfter(i, j int) float64 {
 	p := 0.0
 	for k, tg := range eng.tgts {
 		s := eng.spreadAfterTransfer(k, tg.Attr.Of[a], tg.Attr.Of[b], d)
-		if s > tg.Delta+1e-12 {
+		if s > tg.Delta+fairness.Eps {
 			p += s - tg.Delta
 		}
 	}
@@ -298,33 +301,7 @@ func (eng *parityEngine) potentialAfter(i, j int) float64 {
 // spreadAfterTransfer computes target k's spread after moving d mixed-pair
 // wins from group a to group b (a == b leaves the target unchanged).
 func (eng *parityEngine) spreadAfterTransfer(k, a, b, d int) float64 {
-	if a == b {
-		return eng.spread(k)
-	}
-	g := eng.tgts[k].Attr.DomainSize()
-	lo, hi := 2.0, -1.0
-	for v := 0; v < g; v++ {
-		var f float64
-		if eng.omegaM[k][v] == 0 {
-			f = 0.5
-		} else {
-			w := eng.wins[k][v]
-			if v == a {
-				w -= d
-			}
-			if v == b {
-				w += d
-			}
-			f = float64(w) / float64(eng.omegaM[k][v])
-		}
-		if f < lo {
-			lo = f
-		}
-		if f > hi {
-			hi = f
-		}
-	}
-	return hi - lo
+	return eng.trk[k].SpreadAfterTransfer(a, b, d)
 }
 
 // band returns the total band excess across all targets: how far every
@@ -383,8 +360,9 @@ func (eng *parityEngine) bandAfter(i, j int) float64 {
 // distance d such that transferring d wins leaves the pair's FPR gap just
 // below the target's Delta (satisfied, but no further — over-correcting
 // wastes PD loss and undershoots requested unfairness levels in data
-// generation). One O(n) scan collects both groups' positions; a merge-style
-// sweep then maximises d subject to the cap.
+// generation). The tracker's maintained position lists replace the
+// historical O(n) collection scan; a merge-style sweep then maximises d
+// subject to the cap in O(|vh| + |vl|).
 func (eng *parityEngine) findCappedSwap(k, vh, vl int) (i, j int, ok bool) {
 	tg := eng.tgts[k]
 	if eng.omegaM[k][vh] == 0 || eng.omegaM[k][vl] == 0 {
@@ -401,16 +379,8 @@ func (eng *parityEngine) findCappedSwap(k, vh, vl int) (i, j int, ok bool) {
 	if dmax < 1 {
 		return 0, 0, false
 	}
-	of := tg.Attr.Of
-	var vhPos, vlPos []int
-	for p, c := range eng.r {
-		switch of[c] {
-		case vh:
-			vhPos = append(vhPos, p)
-		case vl:
-			vlPos = append(vlPos, p)
-		}
-	}
+	vhPos := eng.trk[k].Positions(vh)
+	vlPos := eng.trk[k].Positions(vl)
 	bestD := 0
 	hi := 0 // index into vhPos of the smallest position >= q-dmax
 	for _, q := range vlPos {
@@ -440,21 +410,21 @@ func (eng *parityEngine) findBestGlobalTransfer(cur float64) (i, j int, ok bool)
 	bestB := eng.band()
 	consider := func(pi, pj int) {
 		p := eng.potentialAfter(pi, pj)
-		if p > bestP+1e-15 {
+		if p > bestP+improveEps {
 			return
 		}
 		b := eng.bandAfter(pi, pj)
-		if p < bestP-1e-15 || b < bestB-1e-15 {
+		if p < bestP-improveEps || b < bestB-improveEps {
 			bestP, bestB = p, b
 			i, j, ok = pi, pj, true
 		}
 	}
-	if eng.jointOf != nil {
-		eng.eachMinDistPair(eng.jointOf, eng.jointG, consider)
+	if eng.joint != nil {
+		eng.joint.EachMinDistPair(consider)
 		return i, j, ok
 	}
 	for k := range eng.tgts {
-		eng.eachMinDistPair(eng.tgts[k].Attr.Of, eng.tgts[k].Attr.DomainSize(), consider)
+		eng.trk[k].EachMinDistPair(consider)
 	}
 	return i, j, ok
 }
@@ -469,51 +439,16 @@ func (eng *parityEngine) findBestAdjacentSwap(cur float64) (pos int, ok bool) {
 	bestB := eng.band()
 	for p := 0; p+1 < len(eng.r); p++ {
 		pp := eng.potentialAfter(p, p+1)
-		if pp > bestP+1e-15 {
+		if pp > bestP+improveEps {
 			continue
 		}
 		b := eng.bandAfter(p, p+1)
-		if pp < bestP-1e-15 || b < bestB-1e-15 {
+		if pp < bestP-improveEps || b < bestB-improveEps {
 			bestP, bestB = pp, b
 			pos, ok = p, true
 		}
 	}
 	return pos, ok
-}
-
-// eachMinDistPair invokes fn on, for every ordered group pair (a, b) of the
-// grouping `of`, the closest positioned pair with an a-member directly above
-// a b-member. One bottom-up scan in O(n*g) plus O(g^2) emissions.
-func (eng *parityEngine) eachMinDistPair(of []int, g int, fn func(i, j int)) {
-	n := len(eng.r)
-	const none = -1
-	minD := make([]int, g*g)
-	pairPos := make([][2]int, g*g)
-	for idx := range minD {
-		minD[idx] = none
-	}
-	nearestBelow := make([]int, g)
-	for v := range nearestBelow {
-		nearestBelow[v] = none
-	}
-	for p := n - 1; p >= 0; p-- {
-		a := of[eng.r[p]]
-		for b := 0; b < g; b++ {
-			if b == a || nearestBelow[b] == none {
-				continue
-			}
-			if d := nearestBelow[b] - p; minD[a*g+b] == none || d < minD[a*g+b] {
-				minD[a*g+b] = d
-				pairPos[a*g+b] = [2]int{p, nearestBelow[b]}
-			}
-		}
-		nearestBelow[a] = p
-	}
-	for idx := range minD {
-		if minD[idx] != none {
-			fn(pairPos[idx][0], pairPos[idx][1])
-		}
-	}
 }
 
 // gapAfterSwap predicts the absolute FPR gap between groups vh and vl of
@@ -536,31 +471,21 @@ func (eng *parityEngine) gapAfterSwap(k, vh, vl, d int) float64 {
 }
 
 // swap exchanges the candidates at positions i < j and updates every
-// target's win counts incrementally in O((j-i) * len(targets)).
+// tracker. The win-transfer identity (every middle candidate loses one win
+// to the riser and gains one from the faller, cancelling exactly) makes the
+// counter update O(1) per tracker — the historical O(j-i) window walk per
+// target computed the same net transfer term by term — leaving only the
+// position-list maintenance, which touches the two swapped groups' lists.
 func (eng *parityEngine) swap(i, j int) {
 	if i > j {
 		i, j = j, i
 	}
 	a, b := eng.r[i], eng.r[j] // a moves down to j, b moves up to i
-	for k, tg := range eng.tgts {
-		of := tg.Attr.Of
-		va, vb := of[a], of[b]
-		w := eng.wins[k]
-		if va != vb {
-			w[va]--
-			w[vb]++
-		}
-		for p := i + 1; p < j; p++ {
-			vc := of[eng.r[p]]
-			if vc != va { // a drops below the middle candidate
-				w[va]--
-				w[vc]++
-			}
-			if vc != vb { // b rises above the middle candidate
-				w[vb]++
-				w[vc]--
-			}
-		}
+	for _, t := range eng.trk {
+		t.ApplySwap(i, j)
+	}
+	if eng.joint != nil {
+		eng.joint.ApplySwap(i, j)
 	}
 	eng.r[i], eng.r[j] = b, a
 	eng.pos[a], eng.pos[b] = j, i

@@ -88,7 +88,7 @@ func TargetsWithSubsets(t *attribute.Table, delta float64, subsets ...[]string) 
 // Satisfies reports whether ranking r meets every target.
 func Satisfies(r ranking.Ranking, targets []Target) bool {
 	for _, tg := range targets {
-		if fairness.ARP(r, tg.Attr) > tg.Delta+1e-12 {
+		if fairness.ARP(r, tg.Attr) > tg.Delta+fairness.Eps {
 			return false
 		}
 	}
@@ -103,7 +103,7 @@ func MaxViolation(r ranking.Ranking, targets []Target) (float64, int) {
 	for i, tg := range targets {
 		// Parity scores are ratios of small integers; overages below 1e-12
 		// are float rounding, not violations.
-		if over := fairness.ARP(r, tg.Attr) - tg.Delta; over > 1e-12 && over > worst {
+		if over := fairness.ARP(r, tg.Attr) - tg.Delta; over > fairness.Eps && over > worst {
 			worst, idx = over, i
 		}
 	}

@@ -138,22 +138,25 @@ func (rep Report) MaxViolation() float64 {
 
 // Satisfies reports whether the audited ranking meets MANI-Rank group
 // fairness (paper Def. 7) at threshold delta.
-func (rep Report) Satisfies(delta float64) bool { return rep.MaxViolation() <= delta+eps }
+func (rep Report) Satisfies(delta float64) bool { return rep.MaxViolation() <= delta+Eps }
 
-// eps absorbs float rounding when comparing parity scores against Delta;
-// all scores are ratios of small integers so 1e-12 is far below resolution.
-const eps = 1e-12
+// Eps absorbs float rounding when comparing parity scores against a fairness
+// threshold Delta; all scores are ratios of small integers so 1e-12 is far
+// below their resolution. Every feasibility comparison in the module —
+// fairness audits, kemeny.Feasible, core's repair targets — shares this one
+// constant so the feasibility band cannot drift between repair and descent.
+const Eps = 1e-12
 
 // SatisfiesMANIRank reports whether ranking r satisfies MANI-Rank group
 // fairness at threshold delta over table t: ARP_pk <= delta for every
 // protected attribute and IRP <= delta (paper Def. 7).
 func SatisfiesMANIRank(r ranking.Ranking, t *attribute.Table, delta float64) bool {
 	for _, a := range t.Attrs() {
-		if ARP(r, a) > delta+eps {
+		if ARP(r, a) > delta+Eps {
 			return false
 		}
 	}
-	return IRP(r, t) <= delta+eps
+	return IRP(r, t) <= delta+Eps
 }
 
 // Thresholds carries per-attribute fairness targets for the customized
@@ -195,11 +198,11 @@ func (th Thresholds) ForInter() float64 {
 // customized MANI-Rank criteria.
 func SatisfiesThresholds(r ranking.Ranking, t *attribute.Table, th Thresholds) bool {
 	for _, a := range t.Attrs() {
-		if ARP(r, a) > th.ForAttr(a.Name)+eps {
+		if ARP(r, a) > th.ForAttr(a.Name)+Eps {
 			return false
 		}
 	}
-	return IRP(r, t) <= th.ForInter()+eps
+	return IRP(r, t) <= th.ForInter()+Eps
 }
 
 // String renders the report as a compact single-line summary, e.g.

@@ -1,0 +1,71 @@
+package kemeny
+
+import (
+	"manirank/internal/fairness"
+	"manirank/internal/ranking"
+)
+
+// auditor is the constrained descent's incremental feasibility oracle: one
+// fairness.Tracker per constraint, kept in lock-step with the working
+// ranking. feasibleMove answers "would this insertion move keep every ARP
+// within Delta?" in O(groups · log n) per constraint without mutating the
+// ranking — replacing the historical move / full fairness.ARP recompute /
+// undo cycle, whose O(n·q) cost per trial was the fair solvers' scaling
+// wall (ROADMAP item 4). Decisions are bitwise identical to the Feasible
+// path: the trackers derive the exact integer win counts GroupFPRs derives,
+// so every FPR division and Delta comparison sees the same float64s.
+type auditor struct {
+	cons []Constraint
+	trk  []*fairness.Tracker
+}
+
+// newAuditor builds trackers for every constraint over ranking r.
+func newAuditor(cons []Constraint, r ranking.Ranking) *auditor {
+	a := &auditor{cons: cons, trk: make([]*fairness.Tracker, len(cons))}
+	for k, c := range cons {
+		a.trk[k] = fairness.NewTracker(r, c.Attr)
+	}
+	return a
+}
+
+// reset re-derives every tracker from r — O(n + groups) per constraint —
+// realigning the auditor after its ranking was replaced wholesale (a new
+// restart copying the seed).
+func (a *auditor) reset(r ranking.Ranking) {
+	for _, t := range a.trk {
+		t.Reset(r)
+	}
+}
+
+// feasibleMove reports whether r.MoveTo(from, to) would leave every
+// constraint satisfied, without mutating anything.
+func (a *auditor) feasibleMove(from, to int) bool {
+	for k, t := range a.trk {
+		if t.SpreadAfterMove(from, to) > a.cons[k].Delta+fairness.Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// applyMove mirrors an accepted r.MoveTo(from, to) into every tracker. The
+// caller applies the actual MoveTo to its ranking.
+func (a *auditor) applyMove(from, to int) {
+	for _, t := range a.trk {
+		t.ApplyMove(from, to)
+	}
+}
+
+// syncAuditor points the scratch's auditor at ranking r, building it on
+// first use and resetting it otherwise. An empty constraint set needs no
+// auditor and leaves sc.aud nil (callers treat nil as always-feasible).
+func (sc *searchScratch) syncAuditor(cons []Constraint, r ranking.Ranking) {
+	if len(cons) == 0 {
+		return
+	}
+	if sc.aud == nil {
+		sc.aud = newAuditor(cons, r)
+		return
+	}
+	sc.aud.reset(r)
+}

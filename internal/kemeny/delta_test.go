@@ -41,7 +41,11 @@ func TestPerturbDeltaMatchesFullCost(t *testing.T) {
 		}
 		wasFeasible := Feasible(r, cons)
 		before := w.KemenyCost(r)
-		delta := perturbFeasibleDelta(w, cons, r, 6, rng)
+		var aud *auditor
+		if len(cons) > 0 {
+			aud = newAuditor(cons, r)
+		}
+		delta := perturbFeasibleDelta(w, aud, r, 6, rng)
 		// The delta is exact, and feasibility-preserving moves never break a
 		// feasible start.
 		return before+delta == w.KemenyCost(r) && (!wasFeasible || Feasible(r, cons))

@@ -44,7 +44,7 @@ type Constraint struct {
 // Feasible reports whether ranking r satisfies every constraint.
 func Feasible(r ranking.Ranking, cons []Constraint) bool {
 	for _, c := range cons {
-		if fairness.ARP(r, c.Attr) > c.Delta+1e-12 {
+		if fairness.ARP(r, c.Attr) > c.Delta+fairness.Eps {
 			return false
 		}
 	}
@@ -363,7 +363,7 @@ func (st *bbState) fairFeasible() bool {
 				minMax = hi
 			}
 		}
-		if maxMin-minMax > cs.delta+1e-12 {
+		if maxMin-minMax > cs.delta+fairness.Eps {
 			return false
 		}
 	}

@@ -2,6 +2,7 @@ package kemeny
 
 import (
 	"context"
+	"sync"
 
 	"manirank/internal/ranking"
 )
@@ -149,6 +150,7 @@ func ConstrainedLocalSearch(w *ranking.Precedence, cons []Constraint, start rank
 	}
 	r := start.Clone()
 	sc := newSearchScratch(len(r))
+	sc.syncAuditor(cons, r)
 	sc.constrainedDescentDelta(context.Background(), w, cons, r)
 	return r
 }
@@ -178,7 +180,13 @@ func ConstrainedSearchCtx(ctx context.Context, w *ranking.Precedence, cons []Con
 	seed := start.Clone()
 	seedCost := w.KemenyCost(seed)
 	if len(cons) > 0 {
+		// The seed descent is the one single-threaded stretch of the search,
+		// so it alone shards its candidate scans across the restart pool's
+		// width; restart descents keep sequential scans (the pool already
+		// owns that parallelism).
 		sc := newSearchScratch(len(seed))
+		sc.scanWorkers = scanWorkers(opts.Workers)
+		sc.syncAuditor(cons, seed)
 		seedCost += sc.constrainedDescentDelta(ctx, w, cons, seed)
 	} else {
 		// No constraints: every move is feasible, so the cheaper
@@ -191,54 +199,112 @@ func ConstrainedSearchCtx(ctx context.Context, w *ranking.Precedence, cons []Con
 
 // constrainedDescentDelta runs the feasibility-preserving first-improvement
 // insertion descent on r in place and returns the total Kemeny-cost change.
-// The scratch's move buffer is reused across candidates, passes, and
-// restarts. Cancellation is checked between passes; an early exit leaves r
-// feasible (every accepted move preserved feasibility) with the returned
-// delta exact.
+// The scratch's auditor must already be synced to r (syncAuditor); every
+// candidate move is audited incrementally in O(groups · log n) instead of
+// the historical move / full-ARP-recompute / undo cycle, and accepted moves
+// update the trackers in O(span + groups · log n). The scratch's move and
+// term buffers are reused across candidates, passes, and restarts.
+// Cancellation is checked between passes; an early exit leaves r feasible
+// (every accepted move preserved feasibility) with the returned delta exact.
 func (sc *searchScratch) constrainedDescentDelta(ctx context.Context, w *ranking.Precedence, cons []Constraint, r ranking.Ranking) int {
 	n := len(r)
 	total := 0
 	for improved := true; improved && ctx.Err() == nil; {
 		improved = false
 		for i := 0; i < n; i++ {
-			c := r[i]
-			cands := sc.moves[:0]
-			delta := 0
-			for j := i - 1; j >= 0; j-- {
-				y := r[j]
-				delta += w.At(c, y) - w.At(y, c)
-				if delta < 0 {
-					cands = append(cands, clsMove{j, delta})
-				}
-			}
-			delta = 0
-			for j := i + 1; j < n; j++ {
-				y := r[j]
-				delta += w.At(y, c) - w.At(c, y)
-				if delta < 0 {
-					cands = append(cands, clsMove{j, delta})
-				}
-			}
-			sc.moves = cands[:0]
+			cands := sc.scanMoves(w, r, i)
 			if len(cands) == 0 {
 				continue
 			}
-			// Sort by delta ascending (insertion sort; lists are short).
-			for a := 1; a < len(cands); a++ {
-				for b := a; b > 0 && cands[b].delta < cands[b-1].delta; b-- {
-					cands[b], cands[b-1] = cands[b-1], cands[b]
-				}
-			}
-			for _, mv := range cands {
-				r.MoveTo(i, mv.pos)
-				if Feasible(r, cons) {
+			// Consume candidates in (delta, scan order) ascending — the
+			// exact stable order the historical insertion sort produced —
+			// but lazily, through a binary min-heap: descent usually accepts
+			// one of the first few candidates, and repair-displaced elements
+			// can carry thousands, where a full sort (let alone an O(k²)
+			// insertion sort) is wasted work.
+			heapifyMoves(cands)
+			for len(cands) > 0 {
+				mv := cands[0]
+				if sc.aud == nil || sc.aud.feasibleMove(i, mv.pos) {
+					if sc.aud != nil {
+						sc.aud.applyMove(i, mv.pos)
+					}
+					r.MoveTo(i, mv.pos)
 					total += mv.delta
 					improved = true
 					break
 				}
-				r.MoveTo(mv.pos, i) // undo
+				cands = popMove(cands)
 			}
 		}
 	}
 	return total
+}
+
+// shardMinScan is the scan length n at which scanMoves fans the per-position
+// precedence lookups out across the scratch's worker pool; below it the
+// goroutine handoff costs more than the lookups. It is a variable only so
+// determinism tests can force sharding on small instances.
+var shardMinScan = 2048
+
+// scanMoves computes, for the candidate at position i, the Kemeny-cost delta
+// of inserting it at every other position, and returns the improving
+// (delta < 0) targets in canonical order: j = i-1..0 (upward), then
+// j = i+1..n-1 (downward). The returned slice aliases the scratch's move
+// buffer and is valid until the next call.
+//
+// The per-position precedence terms t[k] = W[c][r[k]] - W[r[k]][c] — the
+// expensive part: two lookups each in an O(n^2) matrix — are filled into the
+// scratch's term buffer, sharded across sc.scanWorkers contiguous segments
+// when n >= shardMinScan. The deltas are then the exact-integer running sums
+// of t (upward) and -t (downward), accumulated sequentially, so the
+// candidate list is bitwise identical for every worker count.
+func (sc *searchScratch) scanMoves(w *ranking.Precedence, r ranking.Ranking, i int) []clsMove {
+	n := len(r)
+	c := r[i]
+	if cap(sc.terms) < n {
+		sc.terms = make([]int, n)
+	}
+	terms := sc.terms[:n]
+	fill := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			if k == i {
+				terms[k] = 0
+				continue
+			}
+			y := r[k]
+			terms[k] = w.At(c, y) - w.At(y, c)
+		}
+	}
+	if workers := sc.scanWorkers; workers > 1 && n >= shardMinScan {
+		var wg sync.WaitGroup
+		for s := 0; s < workers; s++ {
+			lo, hi := s*n/workers, (s+1)*n/workers
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fill(lo, hi)
+			}()
+		}
+		wg.Wait()
+	} else {
+		fill(0, n)
+	}
+	cands := sc.moves[:0]
+	delta := 0
+	for j := i - 1; j >= 0; j-- {
+		delta += terms[j]
+		if delta < 0 {
+			cands = append(cands, clsMove{j, delta, len(cands)})
+		}
+	}
+	delta = 0
+	for j := i + 1; j < n; j++ {
+		delta -= terms[j]
+		if delta < 0 {
+			cands = append(cands, clsMove{j, delta, len(cands)})
+		}
+	}
+	sc.moves = cands[:0]
+	return cands
 }

@@ -50,24 +50,87 @@ func restartWorkers(requested, restarts int) int {
 }
 
 // searchScratch is one worker's reusable working set: the constrained
-// descent's move list, plus — for restart workers — the current-ranking
-// buffer the restarts mutate and the restart RNG (re-seeded per restart;
-// math/rand's generator state is ~5KB, too big to churn per restart). The
-// descent-only callers (ConstrainedLocalSearch, the restart seed descent)
-// never touch cur/rng, so those are initialised lazily on the first restart.
-// All of it stays cache-resident across every restart the worker runs, so
-// steady-state restarts allocate only when they actually improve on the
-// seed.
+// descent's move and precedence-term buffers and its incremental fairness
+// auditor, plus — for restart workers — the current-ranking buffer the
+// restarts mutate and the restart RNG (re-seeded per restart; math/rand's
+// generator state is ~5KB, too big to churn per restart). The descent-only
+// callers (ConstrainedLocalSearch, the restart seed descent) never touch
+// cur/rng, so those are initialised lazily on the first restart; the auditor
+// is built on the first syncAuditor and reset — not reallocated — per
+// restart. All of it stays cache-resident across every restart the worker
+// runs, so steady-state restarts allocate only when they actually improve on
+// the seed.
 type searchScratch struct {
 	cur   ranking.Ranking
 	moves []clsMove
+	terms []int
+	aud   *auditor
 	rng   *rand.Rand
+	// scanWorkers > 1 shards scanMoves' precedence lookups; only the seed
+	// descent sets it (restart workers keep 1 — the pool is the parallelism).
+	scanWorkers int
+}
+
+// scanWorkers resolves Options.Workers for the seed descent's sharded
+// candidate scan: <= 0 auto-sizes to GOMAXPROCS, like restartWorkers.
+func scanWorkers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
 }
 
 // clsMove is one improving insertion candidate of the constrained descent.
+// ord is its index in scanMoves' canonical scan order, the tie-break that
+// keeps heap-based candidate selection identical to a stable ascending sort.
 type clsMove struct {
 	pos   int
 	delta int
+	ord   int
+}
+
+// moveLess orders candidates by (delta, scan order) ascending — exactly the
+// sequence a stable sort of scanMoves' output by delta produces, which is the
+// order the historical insertion-sorted descent tried candidates in.
+func moveLess(a, b clsMove) bool {
+	if a.delta != b.delta {
+		return a.delta < b.delta
+	}
+	return a.ord < b.ord
+}
+
+// heapifyMoves builds a binary min-heap over moveLess in place, O(k).
+func heapifyMoves(ms []clsMove) {
+	for i := len(ms)/2 - 1; i >= 0; i-- {
+		siftDownMove(ms, i)
+	}
+}
+
+func siftDownMove(ms []clsMove, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(ms) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(ms) && moveLess(ms[r], ms[l]) {
+			m = r
+		}
+		if !moveLess(ms[m], ms[i]) {
+			return
+		}
+		ms[i], ms[m] = ms[m], ms[i]
+		i = m
+	}
+}
+
+// popMove drops the heap minimum and restores the heap property, O(log k).
+func popMove(ms []clsMove) []clsMove {
+	last := len(ms) - 1
+	ms[0] = ms[last]
+	ms = ms[:last]
+	siftDownMove(ms, 0)
+	return ms
 }
 
 func newSearchScratch(n int) *searchScratch {
@@ -88,7 +151,8 @@ func (sc *searchScratch) runRestart(ctx context.Context, w *ranking.Precedence, 
 	// rand.New(rand.NewSource(seed)) would.
 	sc.rng.Seed(restartSeed(opts.Seed, idx, len(cons) > 0))
 	copy(sc.cur, seed)
-	cost := seedCost + perturbFeasibleDelta(w, cons, sc.cur, opts.Strength, sc.rng)
+	sc.syncAuditor(cons, sc.cur)
+	cost := seedCost + perturbFeasibleDelta(w, sc.aud, sc.cur, opts.Strength, sc.rng)
 	if len(cons) > 0 {
 		cost += sc.constrainedDescentDelta(ctx, w, cons, sc.cur)
 	} else {
@@ -155,11 +219,14 @@ func restartSearch(ctx context.Context, w *ranking.Precedence, cons []Constraint
 }
 
 // perturbFeasibleDelta applies up to strength random insertion moves to r,
-// keeping only those that preserve feasibility (infeasible proposals are
-// undone and consume their draws), and returns the total Kemeny-cost change.
-// With no constraints every move is feasible, so it is the plain perturbation
-// kernel too — same draws, same moves.
-func perturbFeasibleDelta(w *ranking.Precedence, cons []Constraint, r ranking.Ranking, strength int, rng *rand.Rand) int {
+// keeping only those that preserve feasibility (infeasible proposals still
+// consume their draws), and returns the total Kemeny-cost change. Proposals
+// are audited through aud without mutating r — the incremental prediction is
+// bitwise identical to the historical move / Feasible / undo cycle — and
+// accepted moves update the trackers. A nil aud means no constraints: every
+// move is feasible, so it is the plain perturbation kernel too — same draws,
+// same moves.
+func perturbFeasibleDelta(w *ranking.Precedence, aud *auditor, r ranking.Ranking, strength int, rng *rand.Rand) int {
 	n := len(r)
 	if n < 2 {
 		return 0
@@ -171,12 +238,14 @@ func perturbFeasibleDelta(w *ranking.Precedence, cons []Constraint, r ranking.Ra
 		if i == j {
 			continue
 		}
-		d := w.MoveDelta(r, i, j)
-		r.MoveTo(i, j)
-		if !Feasible(r, cons) {
-			r.MoveTo(j, i) // undo
+		if aud != nil && !aud.feasibleMove(i, j) {
 			continue
 		}
+		d := w.MoveDelta(r, i, j)
+		if aud != nil {
+			aud.applyMove(i, j)
+		}
+		r.MoveTo(i, j)
 		delta += d
 	}
 	return delta

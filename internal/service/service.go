@@ -194,6 +194,7 @@ type Server struct {
 	byStatus  sync.Map     // int -> *atomic.Int64
 	solveLat  latencyRing  // latency of computed (non-hit) requests
 	hitLat    latencyRing  // latency of cache-hit requests
+	methodLat sync.Map     // method string -> *latencyRing of pure solve time
 	closeOnce sync.Once
 }
 
@@ -262,11 +263,27 @@ func (s *Server) worker() {
 				continue
 			}
 			s.inFlight.Add(1)
+			t0 := time.Now()
 			j.res, j.err = s.solve(j.ctx, j.pb)
+			if j.err == nil {
+				s.methodRing(j.pb.method.String()).add(time.Since(t0))
+			}
 			s.inFlight.Add(-1)
 			close(j.done)
 		}
 	}
+}
+
+// methodRing returns (creating on first sight) the per-method solve-latency
+// ring. Solve time is measured worker-side — queueing, coalescing, and cache
+// lookups excluded — so /statz separates solver cost per method from serving
+// overhead.
+func (s *Server) methodRing(method string) *latencyRing {
+	if r, ok := s.methodLat.Load(method); ok {
+		return r.(*latencyRing)
+	}
+	r, _ := s.methodLat.LoadOrStore(method, &latencyRing{})
+	return r.(*latencyRing)
 }
 
 // kemenyOptions lowers the request's solver knobs onto the engine options.
@@ -508,6 +525,11 @@ type Statz struct {
 	Requests      map[string]uint64 `json:"requests_by_status"`
 	LatencySolve  LatencySnapshot   `json:"latency_solve"`
 	LatencyHit    LatencySnapshot   `json:"latency_hit"`
+	// LatencyByMethod breaks pure solver time (queueing and cache layers
+	// excluded) down per method, so a speedup in one solver family — e.g. the
+	// incremental parity auditor in the fair methods — is visible in serving
+	// rather than only in benchmarks.
+	LatencyByMethod map[string]LatencySnapshot `json:"latency_solve_by_method"`
 }
 
 // QueueStatz reports the admission layer.
@@ -531,16 +553,21 @@ func (s *Server) StatzSnapshot() Statz {
 			InFlight: s.inFlight.Load(),
 			Workers:  s.cfg.Workers,
 		},
-		Cache:         cs,
-		CacheHitRate:  cs.HitRate(),
-		Matrix:        ms,
-		MatrixHitRate: ms.HitRate(),
-		Requests:      map[string]uint64{},
-		LatencySolve:  s.solveLat.snapshot(),
-		LatencyHit:    s.hitLat.snapshot(),
+		Cache:           cs,
+		CacheHitRate:    cs.HitRate(),
+		Matrix:          ms,
+		MatrixHitRate:   ms.HitRate(),
+		Requests:        map[string]uint64{},
+		LatencySolve:    s.solveLat.snapshot(),
+		LatencyHit:      s.hitLat.snapshot(),
+		LatencyByMethod: map[string]LatencySnapshot{},
 	}
 	s.byStatus.Range(func(k, v any) bool {
 		st.Requests[strconv.Itoa(k.(int))] = uint64(v.(*atomic.Int64).Load())
+		return true
+	})
+	s.methodLat.Range(func(k, v any) bool {
+		st.LatencyByMethod[k.(string)] = v.(*latencyRing).snapshot()
 		return true
 	})
 	return st

@@ -133,6 +133,25 @@ func TestSecondIdenticalRequestIsCacheHit(t *testing.T) {
 	}
 }
 
+// TestStatzPerMethodLatency: computed solves land in the per-method latency
+// rings (one observation per miss; cache hits never touch them).
+func TestStatzPerMethodLatency(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	post(t, ts.URL, testRequest("fair-borda", 6))
+	post(t, ts.URL, testRequest("fair-borda", 6)) // hit: must not record
+	post(t, ts.URL, testRequest("kemeny", 6))
+	st := s.StatzSnapshot()
+	if got := st.LatencyByMethod["fair-borda"].Count; got != 1 {
+		t.Fatalf("fair-borda solve count = %d, want 1 (cache hits must not record)", got)
+	}
+	if got := st.LatencyByMethod["kemeny"].Count; got != 1 {
+		t.Fatalf("kemeny solve count = %d, want 1", got)
+	}
+	if _, ok := st.LatencyByMethod["fair-copeland"]; ok {
+		t.Fatal("unsolved method has a latency ring")
+	}
+}
+
 // TestConcurrentIdenticalRequestsComputeOnce: the coalescing acceptance
 // criterion, run with many goroutines (meaningful under -race). Exactly one
 // request leads the flight; everyone gets the same ranking.

@@ -14,8 +14,16 @@ OUT="BENCH_${N}.json"
 BENCHES='BenchmarkPrecedenceMatrix100x150|BenchmarkMakeMRFair90|BenchmarkMallowsSample90|BenchmarkPlackettLuce100k|BenchmarkAblationILSBordaInit|BenchmarkHeuristicRestartsW1|BenchmarkHeuristicRestartsW4|BenchmarkEngineSolveAll|BenchmarkPerCallSolveAll'
 SCHULZE='BenchmarkSchulze500|BenchmarkSchulze500Dense'
 
+# PR 6 fairness-scale benches: BenchmarkConstrainedDescent5k vs its
+# full-recompute baseline is the incremental-auditor speedup BENCH_6 tracks;
+# MakeMRFair/FairKemeny pin the fair methods at n = 5000 and 10^4. Each runs
+# a fixed single iteration (setup excluded) — these are seconds-long
+# macro-benchmarks, not 1s-loop micro-benches.
+FAIR='BenchmarkConstrainedDescent5k$|BenchmarkConstrainedDescentFullAudit5k$|BenchmarkMakeMRFair5k$|BenchmarkMakeMRFair10k$|BenchmarkFairKemeny5k$|BenchmarkFairKemeny10k$'
+
 RAW="$(go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-1s}" .)
-$(go test -run '^$' -bench "$SCHULZE" -benchtime "${BENCHTIME:-1s}" ./internal/aggregate)"
+$(go test -run '^$' -bench "$SCHULZE" -benchtime "${BENCHTIME:-1s}" ./internal/aggregate)
+$(go test -run '^$' -bench "$FAIR" -benchtime 1x -timeout 120m .)"
 echo "$RAW"
 
 # Serving-layer benchmark: the full sweep against an in-process manirankd —
