@@ -97,9 +97,16 @@ func runServeBench(seed int64, requests, clients, profiles, cacheSize int) error
 // gets its own cold caches, so the per-cell hit rates are comparable rather
 // than inflated by entries a previous cell warmed.
 func serveBenchRun(report serveBenchReport, cell serveCell, seed int64, requests int) (loadgen.Result, error) {
+	return serveBenchRunDir(report, cell, seed, requests, "")
+}
+
+// serveBenchRunDir is serveBenchRun with an optional persistent cache
+// directory (the restart bench's knob; "" keeps the server memory-only).
+func serveBenchRunDir(report serveBenchReport, cell serveCell, seed int64, requests int, cacheDir string) (loadgen.Result, error) {
 	srv, err := service.New(service.Config{
 		CacheSize:   report.CacheSize,
 		CachePolicy: cell.policy,
+		CacheDir:    cacheDir,
 		Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	if err != nil {
@@ -129,4 +136,80 @@ func serveBenchRun(report serveBenchReport, cell serveCell, seed int64, requests
 		return res, fmt.Errorf("serve-bench: server reported policy %q, want %q", res.Policy, cell.policy)
 	}
 	return res, nil
+}
+
+// restartBenchReport is the BENCH_7.json "restart" section: the same
+// Zipf-skewed workload replayed against three server lifecycles, so the
+// delta between phases is exactly what the persistent tier buys.
+type restartBenchReport struct {
+	Candidates int     `json:"candidates"`
+	Rankers    int     `json:"rankers"`
+	Profiles   int     `json:"distinct_profiles"`
+	Clients    int     `json:"clients"`
+	CacheSize  int     `json:"cache_size"`
+	Workers    int     `json:"workers"`
+	ZipfS      float64 `json:"zipf_s"`
+	// Phases: "cold" populates a fresh persistent tier; "warm_restart" is a
+	// new process over the SAME directory replaying the SAME request stream
+	// (the deploy/crash-recovery scenario); "cold_restart" is the control — a
+	// new process with no persistent tier, paying every solve again.
+	Phases map[string]loadgen.Result `json:"phases"`
+}
+
+// runRestartBench measures warm-restart recovery (ISSUE 7 / BENCH_7): how
+// much of the serving layer's hit rate a restarted process recovers from the
+// persistent tier, against the cold-restart control. The Che-approximation
+// literature (Martina et al., arXiv:1307.6702) predicts the recovered rate
+// tracks the persisted working set over the request skew; this harness
+// measures it end to end, solver cost included.
+func runRestartBench(seed int64, requests, clients, profiles, cacheSize int) error {
+	report := restartBenchReport{
+		Candidates: 60,
+		Rankers:    40,
+		Profiles:   profiles,
+		Clients:    clients,
+		CacheSize:  cacheSize,
+		Workers:    runtime.GOMAXPROCS(0),
+		ZipfS:      1.2,
+		Phases:     map[string]loadgen.Result{},
+	}
+	dir, err := os.MkdirTemp("", "manirank-restart-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cell := serveCell{policy: cache.PolicyClock, methods: serveMethodMixes[0], zipfS: report.ZipfS}
+	// serveBenchRunDir's sizing knobs travel in the serving-report shape.
+	sizing := serveBenchReport{Profiles: profiles, Clients: clients, CacheSize: cacheSize}
+	// Identical seed per phase -> identical request stream: the only variable
+	// across phases is what survived on disk.
+	phases := []struct {
+		name string
+		dir  string
+	}{
+		{"cold", dir},
+		{"warm_restart", dir},
+		{"cold_restart", ""},
+	}
+	for _, ph := range phases {
+		res, err := serveBenchRunDir(sizing, cell, seed, requests, ph.dir)
+		if err != nil {
+			return fmt.Errorf("restart-bench %s: %w", ph.name, err)
+		}
+		if res.Errors > 0 {
+			return fmt.Errorf("restart-bench %s: %d request errors", ph.name, res.Errors)
+		}
+		report.Phases[ph.name] = res
+		fmt.Fprintf(os.Stderr, "restart-bench %s: %.1f req/s, hit rate %.2f, result disk hits %d, matrix disk hits %d, p50 %.1fms, p99 %.1fms\n",
+			ph.name, res.Throughput, res.HitRate, res.ResultDiskHits, res.MatrixDiskHits, res.P50LatencyMS, res.P99LatencyMS)
+	}
+	warm, cold := report.Phases["warm_restart"], report.Phases["cold_restart"]
+	if warm.ResultDiskHits == 0 {
+		return fmt.Errorf("restart-bench: warm restart recorded no disk hits — the persistent tier did not serve")
+	}
+	fmt.Fprintf(os.Stderr, "restart-bench: warm restart served %d results + %d matrices from disk (cold control: %d solves re-paid)\n",
+		warm.ResultDiskHits, warm.MatrixDiskHits, cold.Requests-int(float64(cold.Requests)*cold.HitRate))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }

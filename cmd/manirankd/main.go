@@ -5,7 +5,9 @@
 // profile share the O(n²·m) construction), single-flight request
 // coalescing, a bounded admission queue with 429 backpressure, per-request
 // deadlines (best-so-far on expiry), and /healthz + /statz observability
-// endpoints.
+// endpoints. With -cache-dir both tiers persist to a versioned on-disk
+// store, so a restarted daemon serves its previous working set warm; bump
+// -cache-engine-version to invalidate everything persisted.
 //
 // Quickstart:
 //
@@ -47,6 +49,8 @@ func main() {
 	cacheSize := flag.Int("cache-size", 1024, "result cache capacity in entries (negative disables)")
 	cachePolicy := flag.String("cache-policy", cache.PolicyClock, "result cache replacement policy: "+strings.Join(cache.Policies(), "|"))
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache TTL (0 = never expire)")
+	cacheDir := flag.String("cache-dir", "", "root a persistent cache tier here: results and matrices survive restarts (empty disables)")
+	cacheEngineVersion := flag.String("cache-engine-version", "", "engine-behaviour version in the persistent cache namespace; bump to invalidate persisted entries (default "+service.DefaultEngineVersion+")")
 	precCacheMiB := flag.Int("prec-cache-mib", 16, "precedence-matrix cache budget in MiB (4 bytes per matrix cell; 0 disables)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request compute deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper bound on client-requested deadlines")
@@ -72,6 +76,8 @@ func main() {
 		CacheSize:       *cacheSize,
 		CachePolicy:     *cachePolicy,
 		CacheTTL:        *cacheTTL,
+		CacheDir:        *cacheDir,
+		EngineVersion:   *cacheEngineVersion,
 		PrecCacheCells:  precCells,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
@@ -121,7 +127,8 @@ func main() {
 	}()
 
 	logger.Info("manirankd listening", "addr", *addr, "queue", *queue,
-		"cache_size", *cacheSize, "cache_policy", *cachePolicy, "prec_cache_mib", *precCacheMiB)
+		"cache_size", *cacheSize, "cache_policy", *cachePolicy, "prec_cache_mib", *precCacheMiB,
+		"cache_dir", *cacheDir)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "manirankd:", err)
 		os.Exit(1)

@@ -1,0 +1,134 @@
+package manirank_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"manirank"
+)
+
+// cacheTestProfile is a small fixed profile shared by the EngineCache tests.
+func cacheTestProfile() manirank.Profile {
+	return manirank.Profile{
+		{0, 1, 2, 3, 4},
+		{1, 0, 3, 2, 4},
+		{0, 2, 1, 4, 3},
+		{4, 3, 2, 1, 0},
+	}
+}
+
+func TestEngineCacheSharesMatrices(t *testing.T) {
+	ec := manirank.NewEngineCache(1 << 20)
+	p := cacheTestProfile()
+	e1, err := ec.Engine(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ec.Engine(context.Background(), cacheTestProfile()) // content-equal copy
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Precedence() != e2.Precedence() {
+		t.Fatal("content-equal profiles did not share one matrix")
+	}
+	s := ec.Stats()
+	if s.Builds != 1 || s.Hits != 1 || s.BuildsSkipped != 1 {
+		t.Fatalf("stats = %+v, want 1 build shared by the second engine", s)
+	}
+	// The cached-path engine keeps its profile: profile-consuming methods
+	// still solve.
+	r, err := e2.Solve(context.Background(), manirank.MethodKemeny, nil)
+	if err != nil {
+		t.Fatalf("solve on cached engine: %v", err)
+	}
+	direct, err := manirank.NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Solve(context.Background(), manirank.MethodKemeny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Ranking, want.Ranking) {
+		t.Fatalf("cached engine ranking %v != direct %v", r.Ranking, want.Ranking)
+	}
+}
+
+func TestEngineCacheRejectsInvalidProfile(t *testing.T) {
+	ec := manirank.NewEngineCache(1 << 20)
+	bad := manirank.Profile{{0, 1}, {0, 1, 2}} // ragged rows
+	if _, err := ec.Engine(context.Background(), bad); err == nil {
+		t.Fatal("invalid profile was accepted")
+	}
+	// The failed build must not wedge the key.
+	if _, err := ec.Engine(context.Background(), cacheTestProfile()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineCacheTableMismatch(t *testing.T) {
+	ec := manirank.NewEngineCache(1 << 20)
+	tab, err := manirank.NewTable(2,
+		manirank.MustAttribute("G", []string{"a", "b"}, []int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ec.Engine(context.Background(), cacheTestProfile(), manirank.WithTable(tab)); err == nil {
+		t.Fatal("2-candidate table over a 5-candidate profile was accepted")
+	}
+}
+
+// TestEngineCachePersistsAcrossInstances: the library-level warm restart —
+// a second cache over the same directory restores the matrix instead of
+// rebuilding, and an engine-version bump invalidates it.
+func TestEngineCachePersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	p := cacheTestProfile()
+
+	ec1 := manirank.NewEngineCache(1 << 20)
+	if err := ec1.AttachDir(dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := ec1.Engine(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ec1.Stats(); s.DiskPuts != 1 {
+		t.Fatalf("stats = %+v, want the built matrix written through", s)
+	}
+	if err := ec1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ec2 := manirank.NewEngineCache(1 << 20)
+	if err := ec2.AttachDir(dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ec2.Engine(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ec2.Stats()
+	if s.Builds != 0 || s.DiskHits != 1 || s.BuildsSkipped != 1 {
+		t.Fatalf("restart stats = %+v, want a disk restore instead of a build", s)
+	}
+	for a := 0; a < e1.N(); a++ {
+		for b := 0; b < e1.N(); b++ {
+			if e1.Precedence().At(a, b) != e2.Precedence().At(a, b) {
+				t.Fatalf("restored W[%d][%d] differs", a, b)
+			}
+		}
+	}
+
+	ec3 := manirank.NewEngineCache(1 << 20)
+	if err := ec3.AttachDir(dir, "2"); err != nil { // behaviour bump
+		t.Fatal(err)
+	}
+	if _, err := ec3.Engine(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	if s := ec3.Stats(); s.Builds != 1 || s.DiskHits != 0 {
+		t.Fatalf("post-bump stats = %+v, want a fresh build", s)
+	}
+}

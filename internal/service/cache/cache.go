@@ -1,4 +1,4 @@
-// Package cache implements manirankd's two in-memory cache tiers.
+// Package cache implements manirankd's cache tiers.
 //
 // The first tier is the consensus result store (Cache): a map keyed by
 // canonical request digests behind a pluggable replacement Policy — classic
@@ -13,13 +13,23 @@
 // entry) rather than entry count, again with single-flight coalescing on
 // builds (see matrix.go).
 //
+// Both in-memory tiers can sit on a persistent Store (store.go, filestore.go):
+// a content-addressed byte store under the same digest keys, written through
+// on every admission and consulted on memory misses, so a restarted process
+// serves its previous working set warm (snapshot-on-shutdown via Flush plus
+// lazy warm-on-miss restore). Keys on disk live under a {digest version,
+// engine version} namespace, so a solver-behaviour bump invalidates every
+// persisted entry by making it unreachable rather than by deleting it.
+//
 // Consensus rankings are expensive (Fair-Kemeny restarts) but perfectly
 // reusable — the solvers are deterministic per request, so a digest hit is
 // semantically identical to recomputing. Sizing follows the classic cache
 // performance analyses (Che approximation; Martina et al., arXiv:1307.6702):
 // with a Zipf-skewed request popularity the hit ratio is governed by the
 // cache-size/working-set ratio, which the BENCH_4 load generator measures
-// empirically per tier and per policy at several skews.
+// empirically per tier and per policy at several skews — and the same
+// analyses predict the hit rate a persistent second-chance tier recovers
+// after a cold start, which BENCH_7's restart axis measures.
 package cache
 
 import (
@@ -32,24 +42,36 @@ import (
 type Stats struct {
 	// Policy names the replacement policy in use (PolicyLRU, PolicyClock).
 	Policy string `json:"policy"`
-	// Hits counts Do calls served from the store.
+	// Hits counts Do calls served from the in-memory store.
 	Hits uint64 `json:"hits"`
-	// Misses counts Do calls that had to compute (or join a computation).
+	// Misses counts Do calls that had to compute (or join a computation, or
+	// restore from the persistent store).
 	Misses uint64 `json:"misses"`
 	// Coalesced counts Do calls that joined another caller's in-flight
 	// computation instead of starting their own (a subset of Misses).
 	Coalesced uint64 `json:"coalesced"`
 	// Evictions counts entries dropped by capacity pressure.
 	Evictions uint64 `json:"evictions"`
-	// Expirations counts entries dropped because their TTL elapsed.
+	// Expirations counts entries dropped because their TTL elapsed — at
+	// lookup, during an opportunistic store-time sweep, or by Sweep.
 	Expirations uint64 `json:"expirations"`
+	// DiskHits counts Do calls served by restoring an entry from the
+	// persistent store (a subset of Misses; zero without an attached Store).
+	DiskHits uint64 `json:"disk_hits"`
+	// DiskPuts counts successful write-throughs to the persistent store.
+	DiskPuts uint64 `json:"disk_puts"`
+	// DiskErrors counts persistent-store failures the cache absorbed
+	// (unreadable, corrupt, or unencodable entries, failed writes).
+	DiskErrors uint64 `json:"disk_errors"`
 	// Entries is the current number of stored results.
 	Entries int `json:"entries"`
 	// InFlight is the current number of leader computations running.
 	InFlight int `json:"in_flight"`
 }
 
-// HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
+// HitRate returns Hits / (Hits + Misses), or 0 before any traffic. Disk
+// restores count toward Misses here; the warm-serving rate including them is
+// (Hits + DiskHits) / (Hits + Misses).
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses
 	if total == 0 {
@@ -58,10 +80,17 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// entry is one stored result.
+// entry is one stored result. expiresAt is absolute (zero = never): entries
+// restored from the persistent tier keep the expiry they were first stored
+// with, so a restart cannot extend a result's life.
 type entry struct {
-	value    any
-	storedAt time.Time
+	value     any
+	expiresAt time.Time
+}
+
+// expired reports whether the entry's TTL elapsed at time now.
+func (e *entry) expired(now time.Time) bool {
+	return !e.expiresAt.IsZero() && !now.Before(e.expiresAt)
 }
 
 // flight is one in-progress computation that concurrent identical requests
@@ -72,19 +101,30 @@ type flight struct {
 	err   error
 }
 
+// errComputePanic resolves a flight whose compute panicked. The panic itself
+// propagates to the leader's caller; followers must see this sentinel — not
+// context.Canceled, which would misread as a caller cancellation.
+var errComputePanic = errorString("cache: result compute panicked")
+
 // Cache is a thread-safe result store with TTL expiry, a pluggable
-// replacement policy, and single-flight coalescing. The zero value is not
-// usable; construct with New or NewWithPolicy.
+// replacement policy, single-flight coalescing, and an optional persistent
+// second-chance tier (AttachStore). The zero value is not usable; construct
+// with New or NewWithPolicy.
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	ttl      time.Duration
-	policy   Policy
-	items    map[string]*entry
-	flights  map[string]*flight
-	now      func() time.Time
+	mu        sync.Mutex
+	capacity  int
+	ttl       time.Duration
+	policy    Policy
+	items     map[string]*entry
+	flights   map[string]*flight
+	now       func() time.Time
+	lastSweep time.Time
+
+	store Store // nil: memory only
+	codec Codec
 
 	hits, misses, coalesced, evictions, expirations uint64
+	diskHits, diskPuts, diskErrors                  uint64
 }
 
 // New returns an LRU cache holding up to capacity results for at most ttl
@@ -123,6 +163,18 @@ func (c *Cache) SetClock(now func() time.Time) {
 	c.now = now
 }
 
+// AttachStore puts the persistent tier under the cache: every cacheable
+// result is written through (encoded by codec), and a memory miss consults
+// the store before computing — the lazy warm-on-miss restore path a
+// restarted process serves from. Attach before serving traffic; the field is
+// not synchronised against concurrent Do calls.
+func (c *Cache) AttachStore(s Store, codec Codec) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = s
+	c.codec = codec
+}
+
 // lookupLocked returns the live cached value for key, expiring it first if
 // its TTL elapsed. Callers hold c.mu.
 func (c *Cache) lookupLocked(key string) (any, bool) {
@@ -130,7 +182,7 @@ func (c *Cache) lookupLocked(key string) (any, bool) {
 	if !ok {
 		return nil, false
 	}
-	if c.ttl > 0 && c.now().Sub(e.storedAt) >= c.ttl {
+	if e.expired(c.now()) {
 		delete(c.items, key)
 		c.policy.Forget(key)
 		c.expirations++
@@ -140,35 +192,83 @@ func (c *Cache) lookupLocked(key string) (any, bool) {
 	return e.value, true
 }
 
-// storeLocked inserts (or refreshes) key, evicting the policy's victim when
-// the insertion overflows capacity. Callers hold c.mu.
-func (c *Cache) storeLocked(key string, value any) {
+// storeLocked inserts (or refreshes) key with an absolute expiry (zero =
+// never), evicting the policy's victim when the insertion overflows
+// capacity. New insertions opportunistically sweep expired entries first, so
+// TTL-dead entries release their memory and Policy slot without waiting to
+// be re-requested or evicted by capacity pressure. Callers hold c.mu.
+func (c *Cache) storeLocked(key string, value any, expiresAt time.Time) {
 	if c.capacity <= 0 {
 		return
 	}
 	if e, ok := c.items[key]; ok {
 		e.value = value
-		e.storedAt = c.now()
+		e.expiresAt = expiresAt
 		c.policy.Hit(key)
 		return
+	}
+	if c.ttl > 0 {
+		now := c.now()
+		if now.Sub(c.lastSweep) >= c.ttl/2 {
+			c.sweepLocked(now)
+		}
 	}
 	if victim := c.policy.Add(key); victim != "" {
 		delete(c.items, victim)
 		c.evictions++
 	}
-	c.items[key] = &entry{value: value, storedAt: c.now()}
+	c.items[key] = &entry{value: value, expiresAt: expiresAt}
+}
+
+// expiryLocked returns the absolute expiry a value stored now carries.
+func (c *Cache) expiryLocked() time.Time {
+	if c.ttl <= 0 {
+		return time.Time{}
+	}
+	return c.now().Add(c.ttl)
+}
+
+// sweepLocked drops every expired entry, counting each under Expirations.
+// Callers hold c.mu.
+func (c *Cache) sweepLocked(now time.Time) int {
+	c.lastSweep = now
+	removed := 0
+	for key, e := range c.items {
+		if e.expired(now) {
+			delete(c.items, key)
+			c.policy.Forget(key)
+			c.expirations++
+			removed++
+		}
+	}
+	return removed
+}
+
+// Sweep removes every expired entry now and returns how many it dropped.
+// The serving layer's reaper calls it on a timer so idle expired entries
+// release memory without waiting for traffic; storeLocked also sweeps
+// opportunistically on inserts.
+func (c *Cache) Sweep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sweepLocked(c.now())
 }
 
 // Do returns the result for key: from the store on a hit, by joining an
-// identical in-flight computation when one exists, and otherwise by running
-// compute in the caller's goroutine. compute returns (value, cacheable, err);
-// the value is stored only when err is nil and cacheable is true (the
-// serving layer marks deadline-truncated best-so-far results uncacheable so
-// a full-quality solve can replace them). Followers give up when their ctx
-// is done — the leader's computation is unaffected, so nothing leaks.
+// identical in-flight computation when one exists, by restoring the
+// persisted entry when a Store is attached and holds the key, and otherwise
+// by running compute in the caller's goroutine. compute returns (value,
+// cacheable, err); the value is stored only when err is nil and cacheable is
+// true (the serving layer marks deadline-truncated best-so-far results
+// uncacheable so a full-quality solve can replace them). Followers give up
+// when their ctx is done — the leader's computation is unaffected, so
+// nothing leaks. If compute panics, the panic propagates to the leader's
+// caller and followers fail with a dedicated sentinel error (never
+// context.Canceled, which would misread as a caller cancellation).
 //
-// The return flags: hit reports a store hit, shared reports the value came
-// from another caller's computation.
+// The return flags: hit reports the value came from the store (memory or
+// disk) rather than a computation; shared reports it came from another
+// caller's computation.
 func (c *Cache) Do(ctx context.Context, key string, compute func() (any, bool, error)) (value any, hit, shared bool, err error) {
 	c.mu.Lock()
 	if v, ok := c.lookupLocked(key); ok {
@@ -191,30 +291,136 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, bool, e
 	c.flights[key] = f
 	c.mu.Unlock()
 
-	// Resolve the flight even if compute panics, so followers never hang.
+	// Resolve the flight even if compute (or the disk restore) panics, so
+	// followers never hang — and never mistake the crash for a cancellation.
 	completed := false
 	defer func() {
 		if !completed {
-			c.finish(key, f, nil, false, context.Canceled)
+			c.finish(key, f, nil, false, errComputePanic)
 		}
 	}()
+	if v, expiry, ok := c.restore(key); ok {
+		completed = true
+		c.mu.Lock()
+		c.diskHits++
+		c.storeLocked(key, v, expiry)
+		delete(c.flights, key)
+		c.mu.Unlock()
+		f.value = v
+		close(f.done)
+		return v, true, false, nil
+	}
 	v, cacheable, cerr := compute()
 	completed = true
 	c.finish(key, f, v, cacheable, cerr)
 	return v, false, false, cerr
 }
 
-// finish publishes a flight's outcome, stores cacheable successes, and wakes
-// the followers.
+// restore consults the persistent store for key. Any store or decode failure
+// is absorbed (counted under DiskErrors, the entry deleted) — a broken disk
+// entry must degrade to a recompute, never an outage. The entry's absolute
+// expiry is preserved, so a restart cannot extend a result's life.
+func (c *Cache) restore(key string) (value any, expiry time.Time, ok bool) {
+	c.mu.Lock()
+	store, codec := c.store, c.codec
+	c.mu.Unlock()
+	if store == nil {
+		return nil, time.Time{}, false
+	}
+	data, expiry, found, err := store.Get(key)
+	if err != nil {
+		c.countDiskError()
+		return nil, time.Time{}, false
+	}
+	if !found {
+		return nil, time.Time{}, false
+	}
+	v, err := codec.Decode(data)
+	if err != nil {
+		store.Delete(key)
+		c.countDiskError()
+		return nil, time.Time{}, false
+	}
+	return v, expiry, true
+}
+
+func (c *Cache) countDiskError() {
+	c.mu.Lock()
+	c.diskErrors++
+	c.mu.Unlock()
+}
+
+// persist writes one entry through to the store (outside c.mu — encoding and
+// I/O must not serialise the cache). Failures are absorbed and counted.
+func (c *Cache) persist(store Store, codec Codec, key string, value any, expiry time.Time) {
+	data, err := codec.Encode(value)
+	if err == nil {
+		err = store.Put(key, data, expiry)
+	}
+	c.mu.Lock()
+	if err != nil {
+		c.diskErrors++
+	} else {
+		c.diskPuts++
+	}
+	c.mu.Unlock()
+}
+
+// finish publishes a flight's outcome, stores cacheable successes (writing
+// through to the persistent store when one is attached), and wakes the
+// followers.
 func (c *Cache) finish(key string, f *flight, value any, cacheable bool, err error) {
+	var (
+		store  Store
+		codec  Codec
+		expiry time.Time
+	)
 	c.mu.Lock()
 	if err == nil && cacheable {
-		c.storeLocked(key, value)
+		expiry = c.expiryLocked()
+		c.storeLocked(key, value, expiry)
+		if c.capacity > 0 {
+			store, codec = c.store, c.codec
+		}
 	}
 	delete(c.flights, key)
 	c.mu.Unlock()
+	if store != nil {
+		c.persist(store, codec, key, value, expiry)
+	}
 	f.value, f.err = value, err
 	close(f.done)
+}
+
+// Flush re-persists every live in-memory entry to the attached store and
+// returns how many it wrote — the snapshot-on-shutdown half of warm
+// restarts. Write-through already persisted each entry once, so Flush only
+// repairs entries whose earlier write failed; it is cheap and idempotent.
+// With no store attached it is a no-op.
+func (c *Cache) Flush() int {
+	c.mu.Lock()
+	store, codec := c.store, c.codec
+	if store == nil {
+		c.mu.Unlock()
+		return 0
+	}
+	type snap struct {
+		key    string
+		value  any
+		expiry time.Time
+	}
+	now := c.now()
+	snaps := make([]snap, 0, len(c.items))
+	for key, e := range c.items {
+		if !e.expired(now) {
+			snaps = append(snaps, snap{key, e.value, e.expiresAt})
+		}
+	}
+	c.mu.Unlock()
+	for _, s := range snaps {
+		c.persist(store, codec, s.key, s.value, s.expiry)
+	}
+	return len(snaps)
 }
 
 // Stats returns a snapshot of the counters.
@@ -228,6 +434,9 @@ func (c *Cache) Stats() Stats {
 		Coalesced:   c.coalesced,
 		Evictions:   c.evictions,
 		Expirations: c.expirations,
+		DiskHits:    c.diskHits,
+		DiskPuts:    c.diskPuts,
+		DiskErrors:  c.diskErrors,
 		Entries:     len(c.items),
 		InFlight:    len(c.flights),
 	}

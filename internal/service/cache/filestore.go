@@ -1,0 +1,272 @@
+package cache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// fileMagic brands every entry file; anything without it is not ours (or is
+// the torn prefix of a crashed write) and reads as a miss.
+const fileMagic = "MRC1"
+
+// fileHeaderLen is the fixed entry header: magic (4) + expiry unixnano (8) +
+// payload length (8) + payload CRC-32 (4).
+const fileHeaderLen = 4 + 8 + 8 + 4
+
+// FileStore is the file-backed Store: one file per entry under
+//
+//	<root>/<namespace...>/<key prefix>/<key>
+//
+// where the namespace encodes the digest version and the engine version
+// (e.g. "manirankd_v2@engine-1/results"), so bumping either changes the key
+// path and makes every previously persisted entry unreachable — invalidation
+// by versioned addressing, not by deletion. Opening a store prunes sibling
+// version trees under root (they can never be read again), which keeps the
+// directory bounded across upgrades.
+//
+// Writes are atomic: the entry is written to a temp file in the destination
+// directory and renamed into place, so a crash mid-write leaves at worst a
+// stale temp file, never a torn entry. Each entry carries a header with a
+// magic, an absolute expiry, the payload length, and a payload CRC; Get
+// treats any mismatch — truncation, corruption, expiry — as a miss and
+// deletes the file.
+type FileStore struct {
+	dir string // the namespace directory all entries live under
+
+	mu  sync.Mutex
+	now func() time.Time
+}
+
+// OpenFileStore opens (creating as needed) the file store rooted at root for
+// the given namespace. The namespace may contain "/" separators; each
+// segment is sanitised to a safe directory name. The first segment is the
+// version tree: sibling first-segment directories under root are pruned,
+// because a version bump made their entries unreachable forever. Root must
+// therefore be a directory dedicated to this store (manirankd's -cache-dir).
+func OpenFileStore(root, namespace string) (*FileStore, error) {
+	if root == "" {
+		return nil, errors.New("cache: empty file store root")
+	}
+	segs := strings.Split(namespace, "/")
+	for i, s := range segs {
+		segs[i] = sanitizeSegment(s)
+		if segs[i] == "" {
+			return nil, fmt.Errorf("cache: empty namespace segment in %q", namespace)
+		}
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: creating store root: %w", err)
+	}
+	pruneStaleVersions(root, segs[0])
+	dir := filepath.Join(append([]string{root}, segs...)...)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: creating store namespace: %w", err)
+	}
+	return &FileStore{dir: dir, now: time.Now}, nil
+}
+
+// pruneStaleVersions removes version trees under root other than keep: their
+// keys embed a digest or engine version this process will never ask for
+// again, so they are dead weight on disk. Errors are ignored — pruning is
+// best-effort hygiene, not correctness.
+func pruneStaleVersions(root, keep string) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != keep {
+			os.RemoveAll(filepath.Join(root, e.Name()))
+		}
+	}
+}
+
+// sanitizeSegment maps a namespace segment onto a safe directory name:
+// alphanumerics, '.', '_', '-', '@' pass through, everything else becomes
+// '_' (so the digest version "manirankd/v2" arrives pre-split by '/').
+func sanitizeSegment(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-', r == '@':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// SetClock replaces the store's time source; tests use it to drive expiry
+// deterministically.
+func (s *FileStore) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+func (s *FileStore) clock() func() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// path returns the entry file for key, fanned out over a two-character
+// prefix directory so one flat directory never holds the whole tier.
+func (s *FileStore) path(key string) (string, error) {
+	k := sanitizeSegment(key)
+	if k != key || key == "" {
+		// Keys are hex digests everywhere in this repo; anything else would
+		// alias after sanitisation, which a content-addressed store cannot
+		// tolerate.
+		return "", fmt.Errorf("cache: key %q is not file-store safe", key)
+	}
+	prefix := key
+	if len(prefix) > 2 {
+		prefix = prefix[:2]
+	}
+	return filepath.Join(s.dir, prefix, key), nil
+}
+
+// Get implements Store: corrupt, truncated, and expired entries read as
+// misses and are deleted in passing.
+func (s *FileStore) Get(key string) ([]byte, time.Time, bool, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, time.Time{}, false, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, time.Time{}, false, nil
+	}
+	if err != nil {
+		return nil, time.Time{}, false, err
+	}
+	value, expiry, ok := decodeEntry(data)
+	if !ok {
+		os.Remove(p)
+		return nil, time.Time{}, false, nil
+	}
+	if !expiry.IsZero() && !s.clock()().Before(expiry) {
+		os.Remove(p)
+		return nil, time.Time{}, false, nil
+	}
+	return value, expiry, true, nil
+}
+
+// Put implements Store with a temp-file + rename write, atomic on POSIX
+// filesystems.
+func (s *FileStore) Put(key string, value []byte, expiry time.Time) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(encodeEntry(value, expiry))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Delete implements Store; deleting an absent key succeeds.
+func (s *FileStore) Delete(key string) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Scan implements Store: it walks the namespace, silently skipping temp
+// files, corrupt entries, and entries that expired (deleting the latter two).
+func (s *FileStore) Scan(fn func(key string, value []byte, expiry time.Time) error) error {
+	now := s.clock()()
+	return filepath.WalkDir(s.dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+			return err
+		}
+		data, rerr := os.ReadFile(p)
+		if rerr != nil {
+			return nil // raced with a concurrent delete; not fatal
+		}
+		value, expiry, ok := decodeEntry(data)
+		if !ok || (!expiry.IsZero() && !now.Before(expiry)) {
+			os.Remove(p)
+			return nil
+		}
+		return fn(d.Name(), value, expiry)
+	})
+}
+
+// Len returns the number of live entries (a Scan pass; intended for tests
+// and diagnostics, not hot paths).
+func (s *FileStore) Len() int {
+	n := 0
+	s.Scan(func(string, []byte, time.Time) error { n++; return nil })
+	return n
+}
+
+// Close implements Store; the file store holds no open handles between
+// calls, so there is nothing to release.
+func (s *FileStore) Close() error { return nil }
+
+// encodeEntry frames value with the store's header: magic, absolute expiry,
+// payload length, payload CRC-32.
+func encodeEntry(value []byte, expiry time.Time) []byte {
+	buf := make([]byte, fileHeaderLen+len(value))
+	copy(buf, fileMagic)
+	var exp int64
+	if !expiry.IsZero() {
+		exp = expiry.UnixNano()
+	}
+	binary.LittleEndian.PutUint64(buf[4:], uint64(exp))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(len(value)))
+	binary.LittleEndian.PutUint32(buf[20:], crc32.ChecksumIEEE(value))
+	copy(buf[fileHeaderLen:], value)
+	return buf
+}
+
+// decodeEntry validates an entry file's frame; ok is false for any torn,
+// truncated, or corrupt form.
+func decodeEntry(data []byte) (value []byte, expiry time.Time, ok bool) {
+	if len(data) < fileHeaderLen || string(data[:4]) != fileMagic {
+		return nil, time.Time{}, false
+	}
+	exp := int64(binary.LittleEndian.Uint64(data[4:]))
+	length := binary.LittleEndian.Uint64(data[12:])
+	crc := binary.LittleEndian.Uint32(data[20:])
+	payload := data[fileHeaderLen:]
+	if uint64(len(payload)) != length || crc32.ChecksumIEEE(payload) != crc {
+		return nil, time.Time{}, false
+	}
+	if exp != 0 {
+		expiry = time.Unix(0, exp)
+	}
+	return payload, expiry, true
+}

@@ -2,14 +2,17 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"sync"
+	"time"
 )
 
 // MatrixStats is a point-in-time snapshot of a MatrixCache's counters.
 type MatrixStats struct {
-	// Hits counts Do calls served a stored matrix.
+	// Hits counts Do calls served a stored matrix from memory.
 	Hits uint64 `json:"hits"`
-	// Misses counts Do calls that found nothing stored (builds plus joins).
+	// Misses counts Do calls that found nothing stored in memory (builds,
+	// joins, and disk restores).
 	Misses uint64 `json:"misses"`
 	// Coalesced counts Do calls that joined another caller's in-flight build
 	// (a subset of Misses).
@@ -17,12 +20,20 @@ type MatrixStats struct {
 	// Builds counts builder executions — the constructions actually paid.
 	Builds uint64 `json:"builds"`
 	// BuildsSkipped counts Do calls that returned a matrix without running
-	// the builder: Hits + Coalesced. This is the tier's reason to exist.
+	// the builder: Hits + Coalesced + DiskHits. This is the tier's reason to
+	// exist.
 	BuildsSkipped uint64 `json:"builds_skipped"`
 	// Evictions counts entries dropped under cost pressure.
 	Evictions uint64 `json:"evictions"`
 	// Rejected counts built values too large to admit at all (cost > budget).
 	Rejected uint64 `json:"rejected"`
+	// DiskHits counts Do calls served by restoring a persisted matrix (a
+	// subset of Misses; zero without an attached Store).
+	DiskHits uint64 `json:"disk_hits"`
+	// DiskPuts counts successful write-throughs to the persistent store.
+	DiskPuts uint64 `json:"disk_puts"`
+	// DiskErrors counts persistent-store failures the cache absorbed.
+	DiskErrors uint64 `json:"disk_errors"`
 	// Entries is the current number of stored matrices.
 	Entries int `json:"entries"`
 	// CostUsed is the summed cost of the stored matrices (precedence
@@ -34,7 +45,9 @@ type MatrixStats struct {
 	InFlight int `json:"in_flight"`
 }
 
-// HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
+// HitRate returns Hits / (Hits + Misses), or 0 before any traffic. Disk
+// restores count toward Misses here; the warm-serving rate including them is
+// (Hits + DiskHits) / (Hits + Misses).
 func (s MatrixStats) HitRate() float64 {
 	total := s.Hits + s.Misses
 	if total == 0 {
@@ -63,7 +76,9 @@ type matrixFlight struct {
 // small profiles and one n=500 matrix are priced honestly against the same
 // budget — with single-flight coalescing so concurrent requests over the
 // same unseen profile run the O(n²·m) construction exactly once. Eviction
-// is least-recently-used over whole entries until the new entry fits.
+// is least-recently-used over whole entries until the new entry fits. An
+// optional persistent Store under the memory tier (AttachStore) restores
+// evicted or pre-restart matrices on miss instead of rebuilding them.
 //
 // The zero value is not usable; construct with NewMatrixCache.
 type MatrixCache struct {
@@ -74,7 +89,12 @@ type MatrixCache struct {
 	items   map[string]*list.Element
 	flights map[string]*matrixFlight
 
+	store Store // nil: memory only
+	codec Codec
+	cost  func(value any) int64 // admission cost of a restored value
+
 	hits, misses, coalesced, builds, evictions, rejected uint64
+	diskHits, diskPuts, diskErrors                       uint64
 }
 
 // NewMatrixCache returns a matrix cache with the given cost budget (for
@@ -91,17 +111,34 @@ func NewMatrixCache(budget int64) *MatrixCache {
 	}
 }
 
+// AttachStore puts the persistent tier under the cache: every admitted build
+// is written through (encoded by codec), and a memory miss consults the
+// store before building. cost prices a restored value for memory admission
+// (for precedence matrices: Cells). Attach before serving traffic; the
+// fields are not synchronised against concurrent Do calls.
+func (c *MatrixCache) AttachStore(s Store, codec Codec, cost func(value any) int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = s
+	c.codec = codec
+	c.cost = cost
+}
+
 // Do returns the value for key: from the store on a hit, by joining an
-// identical in-flight build when one exists, and otherwise by running build
-// in the caller's goroutine. build returns (value, cost, err); successful
-// values are stored when their cost fits the budget after evicting from the
-// cold end. Unlike result-cache flights, followers always wait the build
-// out: a matrix build is a bounded O(n²·m) computation that does not consult
-// request deadlines, so the wait is short and the result is never partial.
+// identical in-flight build when one exists, by restoring the persisted
+// matrix when a Store is attached and holds the key, and otherwise by
+// running build in the caller's goroutine. build returns (value, cost, err);
+// successful values are stored when their cost fits the budget after
+// evicting from the cold end. ctx bounds a follower's wait on another
+// caller's flight — a flight can include disk restore I/O, not just the
+// bounded in-memory O(n²·m) construction, so followers must honour
+// cancellation exactly like the result tier's. The leader's own build is
+// not cancelled (it is bounded compute whose result every future request
+// wants). If build panics, followers fail with a dedicated sentinel error.
 //
-// hit reports a store hit; shared reports the value came from another
-// caller's build.
-func (c *MatrixCache) Do(key string, build func() (value any, cost int64, err error)) (value any, hit, shared bool, err error) {
+// hit reports the value came from the store (memory or disk); shared
+// reports it came from another caller's build.
+func (c *MatrixCache) Do(ctx context.Context, key string, build func() (value any, cost int64, err error)) (value any, hit, shared bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.hits++
@@ -114,28 +151,45 @@ func (c *MatrixCache) Do(key string, build func() (value any, cost int64, err er
 	if f, ok := c.flights[key]; ok {
 		c.coalesced++
 		c.mu.Unlock()
-		<-f.done
-		return f.value, false, true, f.err
+		select {
+		case <-f.done:
+			return f.value, false, true, f.err
+		case <-ctx.Done():
+			return nil, false, true, ctx.Err()
+		}
 	}
 	f := &matrixFlight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.mu.Unlock()
 
-	// Resolve the flight even if build panics, so followers never hang.
+	// Resolve the flight even if build (or the disk restore) panics, so
+	// followers never hang.
 	completed := false
 	defer func() {
 		if !completed {
-			c.finish(key, f, nil, 0, errMatrixBuildPanic)
+			c.finish(key, f, nil, 0, false, errMatrixBuildPanic)
 		}
 	}()
+	if v, ok := c.restore(key); ok {
+		completed = true
+		c.mu.Lock()
+		c.diskHits++
+		c.storeLocked(key, v, c.cost(v))
+		delete(c.flights, key)
+		c.mu.Unlock()
+		f.value = v
+		close(f.done)
+		return v, true, false, nil
+	}
 	v, cost, berr := build()
 	completed = true
-	c.finish(key, f, v, cost, berr)
+	c.finish(key, f, v, cost, true, berr)
 	return v, false, false, berr
 }
 
 // errMatrixBuildPanic resolves a flight whose builder panicked; the panic
-// itself propagates to the leader's caller.
+// itself propagates to the leader's caller, and followers must see this
+// sentinel rather than a misleading cancellation error.
 var errMatrixBuildPanic = errorString("cache: matrix build panicked")
 
 // errorString is a trivial const-able error type.
@@ -144,16 +198,81 @@ type errorString string
 // Error returns the error message.
 func (e errorString) Error() string { return string(e) }
 
-// finish publishes a build's outcome, stores successes that fit, and wakes
-// the followers.
-func (c *MatrixCache) finish(key string, f *matrixFlight, value any, cost int64, err error) {
+// restore consults the persistent store for key, absorbing (and counting)
+// any store or decode failure as a miss.
+func (c *MatrixCache) restore(key string) (value any, ok bool) {
+	c.mu.Lock()
+	store, codec := c.store, c.codec
+	c.mu.Unlock()
+	if store == nil {
+		return nil, false
+	}
+	data, _, found, err := store.Get(key)
+	if err != nil {
+		c.countDiskError()
+		return nil, false
+	}
+	if !found {
+		return nil, false
+	}
+	v, err := codec.Decode(data)
+	if err != nil {
+		store.Delete(key)
+		c.countDiskError()
+		return nil, false
+	}
+	return v, true
+}
+
+func (c *MatrixCache) countDiskError() {
+	c.mu.Lock()
+	c.diskErrors++
+	c.mu.Unlock()
+}
+
+// persist writes one matrix through to the store (outside c.mu). Failures
+// are absorbed and counted.
+func (c *MatrixCache) persist(store Store, codec Codec, key string, value any) {
+	data, err := codec.Encode(value)
+	if err == nil {
+		err = store.Put(key, data, time.Time{})
+	}
+	c.mu.Lock()
+	if err != nil {
+		c.diskErrors++
+	} else {
+		c.diskPuts++
+	}
+	c.mu.Unlock()
+}
+
+// finish publishes a build's outcome, stores successes that fit (writing
+// fresh builds through to the persistent store), and wakes the followers.
+// fresh distinguishes a builder execution from a disk restore: only the
+// former counts a Build and earns a write-through.
+func (c *MatrixCache) finish(key string, f *matrixFlight, value any, cost int64, fresh bool, err error) {
+	var (
+		store Store
+		codec Codec
+	)
 	c.mu.Lock()
 	if err == nil {
-		c.builds++
+		if fresh {
+			c.builds++
+		}
 		c.storeLocked(key, value, cost)
+		if fresh && c.budget > 0 {
+			// Persist even when the memory tier rejected the value as
+			// oversize: disk capacity is not cell-bounded, and restoring an
+			// oversize matrix still skips its rebuild.
+			store, codec = c.store, c.codec
+		}
 	}
 	delete(c.flights, key)
 	c.mu.Unlock()
+	if store != nil {
+		c.persist(store, codec, key, value)
+	}
 	f.value, f.err = value, err
 	close(f.done)
 }
@@ -187,6 +306,33 @@ func (c *MatrixCache) storeLocked(key string, value any, cost int64) {
 	}
 }
 
+// Flush re-persists every resident matrix to the attached store and returns
+// how many it wrote — the snapshot-on-shutdown half of warm restarts
+// (write-through already persisted each build once; Flush repairs failed
+// writes). With no store attached it is a no-op.
+func (c *MatrixCache) Flush() int {
+	c.mu.Lock()
+	store, codec := c.store, c.codec
+	if store == nil {
+		c.mu.Unlock()
+		return 0
+	}
+	type snap struct {
+		key   string
+		value any
+	}
+	snaps := make([]snap, 0, len(c.items))
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*matrixEntry)
+		snaps = append(snaps, snap{e.key, e.value})
+	}
+	c.mu.Unlock()
+	for _, s := range snaps {
+		c.persist(store, codec, s.key, s.value)
+	}
+	return len(snaps)
+}
+
 // Stats returns a snapshot of the counters.
 func (c *MatrixCache) Stats() MatrixStats {
 	c.mu.Lock()
@@ -196,9 +342,12 @@ func (c *MatrixCache) Stats() MatrixStats {
 		Misses:        c.misses,
 		Coalesced:     c.coalesced,
 		Builds:        c.builds,
-		BuildsSkipped: c.hits + c.coalesced,
+		BuildsSkipped: c.hits + c.coalesced + c.diskHits,
 		Evictions:     c.evictions,
 		Rejected:      c.rejected,
+		DiskHits:      c.diskHits,
+		DiskPuts:      c.diskPuts,
+		DiskErrors:    c.diskErrors,
 		Entries:       len(c.items),
 		CostUsed:      c.used,
 		CostBudget:    c.budget,

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -12,7 +13,7 @@ import (
 // mustMatrixDo runs a plain build and fails the test on error.
 func mustMatrixDo(t *testing.T, c *MatrixCache, key string, v any, cost int64) (any, bool) {
 	t.Helper()
-	got, hit, _, err := c.Do(key, func() (any, int64, error) { return v, cost, nil })
+	got, hit, _, err := c.Do(context.Background(), key, func() (any, int64, error) { return v, cost, nil })
 	if err != nil {
 		t.Fatalf("Do(%q): %v", key, err)
 	}
@@ -96,7 +97,7 @@ func TestMatrixDisabledStoresNothing(t *testing.T) {
 func TestMatrixBuildErrorNotStored(t *testing.T) {
 	c := NewMatrixCache(100)
 	boom := errors.New("boom")
-	if _, _, _, err := c.Do("a", func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+	if _, _, _, err := c.Do(context.Background(), "a", func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if _, hit := mustMatrixDo(t, c, "a", 1, 10); hit {
@@ -122,7 +123,7 @@ func TestMatrixSingleFlightCoalescing(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, _, shared, err := c.Do("profile", func() (any, int64, error) {
+			v, _, shared, err := c.Do(context.Background(), "profile", func() (any, int64, error) {
 				builds.Add(1)
 				<-gate
 				return "matrix", 10, nil

@@ -8,14 +8,40 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"manirank/internal/ranking"
 )
 
 // digestVersion namespaces both digests; bump it whenever a canonical
-// serialisation below or the solvers' deterministic behaviour changes, so
-// stale cached results (or matrices) can never be served across an upgrade.
-// v2 split the profile sub-digest out of the request digest for the
-// precedence-matrix tier.
+// serialisation below changes, so stale cached results (or matrices) can
+// never be served across an upgrade. v2 split the profile sub-digest out of
+// the request digest for the precedence-matrix tier.
 const digestVersion = "manirankd/v2"
+
+// DefaultEngineVersion is the engine-version component the persistent cache
+// namespace carries when the operator doesn't override it
+// (-cache-engine-version). Bump it — or pass a new value at deploy time —
+// whenever the solvers' deterministic behaviour changes without a digest
+// serialisation change, so persisted entries from the old behaviour become
+// unreachable.
+const DefaultEngineVersion = "1"
+
+// CacheNamespace returns the versioned namespace the persistent cache tier
+// files entries under: the digest schema version joined with the engine
+// behaviour version. Both components address the on-disk key path, so
+// bumping either invalidates every persisted entry by making its path
+// unreachable — no deletion pass required (the store prunes stale version
+// trees opportunistically on open). An empty engineVersion means
+// DefaultEngineVersion.
+func CacheNamespace(engineVersion string) string {
+	if engineVersion == "" {
+		engineVersion = DefaultEngineVersion
+	}
+	// The store splits namespaces into path segments on "/" and prunes
+	// sibling trees of the FIRST segment only, so the whole version pair must
+	// collapse into that one segment ("manirankd_v2@engine-1").
+	return strings.ReplaceAll(digestVersion, "/", "_") + "@engine-" + engineVersion
+}
 
 // Digest returns the full request digest of req (see Digests).
 func Digest(req *AggregateRequest) string {
@@ -42,13 +68,14 @@ func Digest(req *AggregateRequest) string {
 // Both digests are stable across processes and runs; two structurally equal
 // requests always collide and any semantic difference separates them.
 func Digests(req *AggregateRequest) (full, profile string) {
-	ph := sha256.New()
-	writeString(ph, digestVersion+"/profile")
-	writeInt(ph, int64(len(req.Profile)))
-	for _, row := range req.Profile {
-		writeInts(ph, row)
+	// The profile sub-digest is ranking.Profile.Digest — the shared
+	// content-address primitive — under this schema's namespace, so the
+	// serving tier and manirank.EngineCache hash a profile identically.
+	p := make(ranking.Profile, len(req.Profile))
+	for i, row := range req.Profile {
+		p[i] = row
 	}
-	profile = hex.EncodeToString(ph.Sum(nil))
+	profile = p.Digest(digestVersion + "/profile")
 
 	h := sha256.New()
 	writeString(h, digestVersion)

@@ -109,6 +109,11 @@ type Result struct {
 	MatrixBuilds        uint64  `json:"matrix_builds"`
 	MatrixBuildsSkipped uint64  `json:"matrix_builds_skipped"`
 	MatrixHitRate       float64 `json:"matrix_hit_rate"`
+	// The disk columns are non-zero only against a server started with
+	// -cache-dir; BENCH_7's restart axis reads warm-restart recovery off
+	// them (a disk hit is a memory miss the persistent tier absorbed).
+	ResultDiskHits uint64 `json:"result_disk_hits"`
+	MatrixDiskHits uint64 `json:"matrix_disk_hits"`
 }
 
 // buildPool generates the distinct request bodies, pre-marshalled once —
@@ -299,5 +304,7 @@ func Run(cfg Config) (Result, error) {
 	res.MatrixBuilds = st.Matrix.Builds
 	res.MatrixBuildsSkipped = st.Matrix.BuildsSkipped
 	res.MatrixHitRate = st.Matrix.HitRate()
+	res.ResultDiskHits = st.Cache.DiskHits
+	res.MatrixDiskHits = st.Matrix.DiskHits
 	return res, nil
 }

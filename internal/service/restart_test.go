@@ -1,0 +1,93 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWarmRestartServesFromDisk is the tentpole's end-to-end contract: a
+// server restarted over the same -cache-dir answers a previously seen
+// request from the persistent tier — no solver run, no matrix build — and a
+// new method over a known profile restores the precedence matrix from disk.
+func TestWarmRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	req := testRequest("fair-borda", 21)
+
+	s1, ts1 := newTestServer(t, Config{CacheDir: dir})
+	status, first := post(t, ts1.URL, req)
+	if status != 200 || first.Cached {
+		t.Fatalf("cold request: status=%d cached=%v", status, first != nil && first.Cached)
+	}
+	if st := s1.StatzSnapshot(); st.Cache.DiskPuts != 1 || st.Matrix.DiskPuts != 1 {
+		t.Fatalf("write-through: %+v / %+v, want one put per tier", st.Cache, st.Matrix)
+	}
+	ts1.Close()
+	s1.Close() // snapshot flush + store close
+
+	// The "restarted daemon": fresh process state, same cache directory.
+	s2, ts2 := newTestServer(t, Config{CacheDir: dir})
+	status, warm := post(t, ts2.URL, req)
+	if status != 200 || !warm.Cached {
+		t.Fatalf("restarted request: status=%d cached=%v, want disk-warm hit", status, warm != nil && warm.Cached)
+	}
+	if warm.Digest != first.Digest {
+		t.Fatal("digest changed across restart")
+	}
+	if len(warm.Ranking) != len(first.Ranking) {
+		t.Fatalf("restored ranking has %d candidates, want %d", len(warm.Ranking), len(first.Ranking))
+	}
+	for i, c := range first.Ranking {
+		if warm.Ranking[i] != c {
+			t.Fatalf("restored ranking differs at position %d", i)
+		}
+	}
+	st := s2.StatzSnapshot()
+	if st.Cache.DiskHits != 1 || st.Cache.Hits != 0 {
+		t.Fatalf("restart cache stats = %+v, want exactly one disk hit", st.Cache)
+	}
+	if st.Matrix.Builds != 0 {
+		t.Fatalf("restart rebuilt %d matrices for a result-tier hit", st.Matrix.Builds)
+	}
+
+	// A NEW method over the already-seen profile misses the result tier but
+	// restores the persisted precedence matrix instead of rebuilding it.
+	other := testRequest("copeland", 21) // same seed -> same profile sub-digest
+	if status, resp := post(t, ts2.URL, other); status != 200 || resp.Cached {
+		t.Fatalf("new-method request: status=%d cached=%v", status, resp != nil && resp.Cached)
+	}
+	st = s2.StatzSnapshot()
+	if st.Matrix.DiskHits != 1 || st.Matrix.Builds != 0 {
+		t.Fatalf("matrix stats = %+v, want the matrix restored from disk, not rebuilt", st.Matrix)
+	}
+	if st.Matrix.BuildsSkipped == 0 {
+		t.Fatal("BuildsSkipped did not count the disk restore")
+	}
+	ts2.Close()
+	s2.Close()
+
+	// Bumping the engine version makes every persisted entry unreachable:
+	// the same request is cold again.
+	s3, ts3 := newTestServer(t, Config{CacheDir: dir, EngineVersion: "2"})
+	if status, resp := post(t, ts3.URL, req); status != 200 || resp.Cached {
+		t.Fatalf("post-bump request: status=%d cached=%v, want cold", status, resp != nil && resp.Cached)
+	}
+	if st := s3.StatzSnapshot(); st.Cache.DiskHits != 0 || st.Matrix.DiskHits != 0 {
+		t.Fatalf("post-bump stats = %+v / %+v, want no disk hits", st.Cache, st.Matrix)
+	}
+}
+
+func TestCacheNamespace(t *testing.T) {
+	def := CacheNamespace("")
+	if def != CacheNamespace(DefaultEngineVersion) {
+		t.Fatal("empty engine version does not default")
+	}
+	if strings.Contains(def, "/") {
+		t.Fatalf("namespace %q spans path segments; the version must collapse into one", def)
+	}
+	if CacheNamespace("2") == def {
+		t.Fatal("engine-version bump did not change the namespace")
+	}
+	if !strings.Contains(def, "@engine-") {
+		t.Fatalf("namespace %q lacks the engine-version component", def)
+	}
+}

@@ -62,8 +62,22 @@ type Config struct {
 	// CachePolicy selects the result cache's replacement policy:
 	// cache.PolicyClock (default) or cache.PolicyLRU.
 	CachePolicy string
-	// CacheTTL expires cached results (default 0: never).
+	// CacheTTL expires cached results (default 0: never). With a TTL set the
+	// server also runs a clock-driven reaper that sweeps expired entries out
+	// of memory even when nothing re-requests them.
 	CacheTTL time.Duration
+	// CacheDir, when non-empty, roots a persistent content-addressed tier
+	// under both caches: every admitted result and matrix is written through
+	// to disk, memory misses consult disk before computing, and both tiers
+	// are flushed on Close — so a restarted server serves its previous
+	// working set warm. The directory must be dedicated to this server's
+	// cache (stale version trees inside it are pruned on startup).
+	CacheDir string
+	// EngineVersion is the engine-behaviour component of the persistent
+	// tier's namespace (default DefaultEngineVersion). Bump it at deploy time
+	// when solver behaviour changes: every entry persisted under the old
+	// version becomes unreachable. Ignored without CacheDir.
+	EngineVersion string
 	// PrecCacheCells budgets the precedence-matrix tier in matrix cells (a
 	// profile over n candidates costs n² cells ≈ 4n² bytes). Default
 	// DefaultPrecCacheCells; negative disables storage (builds still
@@ -183,6 +197,7 @@ type Server struct {
 	cfg     Config
 	cache   *cache.Cache
 	prec    *cache.MatrixCache
+	stores  []cache.Store // persistent tiers to close after the final flush
 	jobs    chan *job
 	quit    chan struct{}
 	wg      sync.WaitGroup
@@ -198,8 +213,8 @@ type Server struct {
 	closeOnce sync.Once
 }
 
-// New starts a Server's worker pool and returns it. It fails only on an
-// unknown Config.CachePolicy.
+// New starts a Server's worker pool and returns it. It fails on an unknown
+// Config.CachePolicy or an unusable Config.CacheDir.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	results, err := cache.NewWithPolicy(cfg.CacheSize, cfg.CacheTTL, cfg.CachePolicy)
@@ -215,28 +230,80 @@ func New(cfg Config) (*Server, error) {
 		log:     cfg.Logger,
 		started: time.Now(),
 	}
+	if cfg.CacheDir != "" {
+		ns := CacheNamespace(cfg.EngineVersion)
+		rs, err := cache.OpenFileStore(cfg.CacheDir, ns+"/results")
+		if err != nil {
+			return nil, err
+		}
+		ms, err := cache.OpenFileStore(cfg.CacheDir, ns+"/matrices")
+		if err != nil {
+			rs.Close()
+			return nil, err
+		}
+		s.cache.AttachStore(rs, resultCodec())
+		s.prec.AttachStore(ms, matrixCodec(), matrixCost)
+		s.stores = append(s.stores, rs, ms)
+		s.log.Info("persistent cache tier attached", "dir", cfg.CacheDir, "namespace", ns)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if cfg.CacheTTL > 0 {
+		interval := cfg.CacheTTL / 2
+		if interval < time.Second {
+			interval = time.Second
+		}
+		s.wg.Add(1)
+		go s.reaper(interval)
+	}
 	return s, nil
 }
 
+// reaper periodically sweeps expired entries out of the result cache so a
+// TTL'd working set that stops being requested releases its memory and
+// Policy slots without waiting for capacity pressure (lookupLocked only
+// expires entries somebody asks for again).
+func (s *Server) reaper(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.cache.Sweep()
+		}
+	}
+}
+
 // Close drains the solver pool: workers finish their current job and exit,
-// and any job still queued fails with ErrShuttingDown. Stop accepting HTTP
-// traffic (http.Server.Shutdown) before calling Close so no handler is left
-// waiting.
+// and any job still queued fails with ErrShuttingDown. With a persistent
+// tier attached, both caches then snapshot-flush to disk and the stores are
+// closed, so the next process starts from this one's full working set (not
+// just what write-through persisted). Stop accepting HTTP traffic
+// (http.Server.Shutdown) before calling Close so no handler is left waiting.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.quit)
 		s.wg.Wait()
-		for {
+		for drained := false; !drained; {
 			select {
 			case j := <-s.jobs:
 				j.err = ErrShuttingDown
 				close(j.done)
 			default:
-				return
+				drained = true
+			}
+		}
+		if len(s.stores) > 0 {
+			nr := s.cache.Flush()
+			nm := s.prec.Flush()
+			s.log.Info("persistent cache tier flushed", "results", nr, "matrices", nm)
+			for _, st := range s.stores {
+				st.Close()
 			}
 		}
 	})
@@ -305,9 +372,10 @@ func (s *Server) kemenyOptions(o SolverOptions) aggregate.KemenyOptions {
 // already-seen profile reuses the stored W, and concurrent first sights of
 // one profile build it exactly once. The matrix is immutable once built —
 // every solver only reads it — which is what makes sharing across worker
-// goroutines sound.
-func (s *Server) precedence(pb *problem) (*ranking.Precedence, error) {
-	v, _, _, err := s.prec.Do(pb.profDigest, func() (any, int64, error) {
+// goroutines sound. ctx bounds only a follower's wait on another worker's
+// flight (which may include disk I/O); the build itself runs to completion.
+func (s *Server) precedence(ctx context.Context, pb *problem) (*ranking.Precedence, error) {
+	v, _, _, err := s.prec.Do(ctx, pb.profDigest, func() (any, int64, error) {
 		w, err := ranking.NewPrecedence(pb.profile)
 		if err != nil {
 			return nil, 0, err
@@ -335,7 +403,7 @@ func (s *Server) precedence(pb *problem) (*ranking.Precedence, error) {
 // during audit bookkeeping can never mislabel a complete result and evict
 // it from cacheability).
 func (s *Server) solve(ctx context.Context, pb *problem) (*result, error) {
-	w, err := s.precedence(pb)
+	w, err := s.precedence(ctx, pb)
 	if err != nil {
 		return nil, err
 	}

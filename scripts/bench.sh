@@ -32,6 +32,11 @@ echo "$RAW"
 # cache tiers' hit/build counters, and latency percentiles per cell.
 SERVING="$(go run ./cmd/experiments -serve-bench -seed 1)"
 
+# Warm-restart recovery (PR 7): the same workload against a cold persistent
+# tier, a restarted process over the same cache directory, and a cold-restart
+# control with no persistence — the phase deltas are what the disk tier buys.
+RESTART="$(go run ./cmd/experiments -serve-restart -seed 1)"
+
 {
   echo '{'
   echo "  \"pr\": ${N},"
@@ -49,6 +54,8 @@ SERVING="$(go run ./cmd/experiments -serve-bench -seed 1)"
   echo '  },'
   echo '  "serving":'
   echo "$SERVING" | sed 's/^/  /'
+  echo '  ,"restart":'
+  echo "$RESTART" | sed 's/^/  /'
   echo '}'
 } > "$OUT"
 

@@ -3,7 +3,11 @@
 # a 20-candidate profile, assert 200 + a valid ranking, assert the second
 # identical request is served from the result cache, and assert a different
 # method over the same profile skips the precedence-matrix build (the
-# two-tier contract). Used by CI's serve-smoke stage.
+# two-tier contract). Then the persistence contract: restart the daemon over
+# the same -cache-dir and assert the first repeated request is a disk-warm
+# hit (no solver run, no matrix build), and that bumping
+# -cache-engine-version invalidates everything persisted. Used by CI's
+# serve-smoke stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,16 +15,27 @@ cd "$(dirname "$0")/.."
 go build -o /tmp/manirankd ./cmd/manirankd
 
 PORT="${SMOKE_PORT:-18080}"
+CACHE_DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$CACHE_DIR"
+}
+trap cleanup EXIT
+
 /tmp/manirankd -addr "127.0.0.1:${PORT}" &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
 
 BASE="http://127.0.0.1:${PORT}"
-for i in $(seq 1 50); do
-  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
-  if [ "$i" = 50 ]; then echo "server never became healthy" >&2; exit 1; fi
-  sleep 0.1
-done
+wait_healthy() {
+  for i in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "server never became healthy" >&2
+  exit 1
+}
+wait_healthy
 echo "healthz ok"
 
 # 20 candidates, alternating binary Gender, three base rankings.
@@ -71,3 +86,52 @@ echo "$STATZ" | grep -q '"builds":1' || { echo "statz did not show exactly one m
 echo "$STATZ" | grep -q '"builds_skipped":1' || { echo "statz did not show the skipped matrix build" >&2; exit 1; }
 
 echo "serve smoke ok"
+
+# --- Persistence: warm restart over -cache-dir ---
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+
+/tmp/manirankd -addr "127.0.0.1:${PORT}" -cache-dir "$CACHE_DIR" &
+SERVER_PID=$!
+wait_healthy
+COLD="$(curl -sf -X POST "$BASE/v1/aggregate" -H 'Content-Type: application/json' -d "$REQ")"
+echo "$COLD" | grep -q '"cached":false' || { echo "first request against the fresh cache dir claimed a hit" >&2; exit 1; }
+# SIGTERM: the daemon's graceful shutdown flushes both tiers to disk.
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+
+/tmp/manirankd -addr "127.0.0.1:${PORT}" -cache-dir "$CACHE_DIR" &
+SERVER_PID=$!
+wait_healthy
+WARM="$(curl -sf -X POST "$BASE/v1/aggregate" -H 'Content-Type: application/json' -d "$REQ")"
+echo "$WARM" | grep -q '"cached":true' || { echo "restarted daemon did not serve from the persistent tier: $WARM" >&2; exit 1; }
+RW="$(echo "$WARM" | sed -n 's/.*"ranking":\[\([0-9,]*\)\].*/\1/p')"
+[ "$R1" = "$RW" ] || { echo "disk-restored ranking differs from the original" >&2; exit 1; }
+STATZ="$(curl -sf "$BASE/statz")"
+# Result tier: the hit came off disk, not memory, and no solve ran.
+RESULT_TIER="$(echo "$STATZ" | sed -n 's/.*"cache":{\([^}]*\)}.*/\1/p')"
+echo "$RESULT_TIER" | grep -q '"disk_hits":1' || { echo "statz did not record the result-tier disk hit: $RESULT_TIER" >&2; exit 1; }
+# Matrix tier: nothing was rebuilt for a result-tier disk hit.
+MATRIX_TIER="$(echo "$STATZ" | sed -n 's/.*"precedence_cache":{\([^}]*\)}.*/\1/p')"
+echo "$MATRIX_TIER" | grep -q '"builds":0' || { echo "restart re-ran a matrix build: $MATRIX_TIER" >&2; exit 1; }
+
+# A different method over the same profile misses the result tier but must
+# restore the persisted matrix from disk instead of rebuilding it.
+BORDA_REQ="$(echo "$REQ" | sed 's/"fair-kemeny"/"borda"/')"
+curl -sf -X POST "$BASE/v1/aggregate" -H 'Content-Type: application/json' -d "$BORDA_REQ" >/dev/null
+STATZ="$(curl -sf "$BASE/statz")"
+MATRIX_TIER="$(echo "$STATZ" | sed -n 's/.*"precedence_cache":{\([^}]*\)}.*/\1/p')"
+echo "$MATRIX_TIER" | grep -q '"disk_hits":1' || { echo "statz did not record the matrix-tier disk restore: $MATRIX_TIER" >&2; exit 1; }
+echo "$MATRIX_TIER" | grep -q '"builds":0' || { echo "new method rebuilt the persisted matrix: $MATRIX_TIER" >&2; exit 1; }
+echo "$MATRIX_TIER" | grep -q '"builds_skipped":1' || { echo "builds_skipped did not count the disk restore: $MATRIX_TIER" >&2; exit 1; }
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+echo "restart-warm smoke ok"
+
+# --- Persistence: engine-version bump invalidates everything ---
+/tmp/manirankd -addr "127.0.0.1:${PORT}" -cache-dir "$CACHE_DIR" -cache-engine-version 2 &
+SERVER_PID=$!
+wait_healthy
+BUMPED="$(curl -sf -X POST "$BASE/v1/aggregate" -H 'Content-Type: application/json' -d "$REQ")"
+echo "$BUMPED" | grep -q '"cached":false' || { echo "engine-version bump did not invalidate persisted entries" >&2; exit 1; }
+STATZ="$(curl -sf "$BASE/statz")"
+RESULT_TIER="$(echo "$STATZ" | sed -n 's/.*"cache":{\([^}]*\)}.*/\1/p')"
+echo "$RESULT_TIER" | grep -q '"disk_hits":0' || { echo "post-bump request read the old version's entries: $RESULT_TIER" >&2; exit 1; }
+echo "version-bump smoke ok"
