@@ -82,9 +82,15 @@ func runServeBench(seed int64, requests, clients, profiles, cacheSize int) error
 				if res.Errors > 0 {
 					return fmt.Errorf("serve-bench policy=%s zipf_s=%.1f: %d request errors", policy, s, res.Errors)
 				}
+				// Every cell starts cold, so at least one request solved: a
+				// zero solve stage means the trace→histogram plumbing broke,
+				// and the stage columns CI smokes on would silently be empty.
+				if res.StageMeanMS["solve"] <= 0 || res.StageMeanMS["matrix_build"] <= 0 {
+					return fmt.Errorf("serve-bench policy=%s zipf_s=%.1f: empty stage breakdown %v", policy, s, res.StageMeanMS)
+				}
 				report.Runs = append(report.Runs, res)
-				fmt.Fprintf(os.Stderr, "serve-bench policy=%s methods=%d zipf_s=%.1f: %.1f req/s, hit rate %.2f, matrix builds %d skipped %d, p50 %.1fms, p99 %.1fms (%d errors, %d rejected)\n",
-					policy, len(methods), s, res.Throughput, res.HitRate, res.MatrixBuilds, res.MatrixBuildsSkipped, res.P50LatencyMS, res.P99LatencyMS, res.Errors, res.Rejected)
+				fmt.Fprintf(os.Stderr, "serve-bench policy=%s methods=%d zipf_s=%.1f: %.1f req/s, hit rate %.2f (pred %.2f drift %+.2f), matrix builds %d skipped %d, p50 %.1fms, p99 %.1fms, solve stage %.1fms (%d errors, %d rejected)\n",
+					policy, len(methods), s, res.Throughput, res.HitRate, res.PredictedHitRate, res.HitRateDrift, res.MatrixBuilds, res.MatrixBuildsSkipped, res.P50LatencyMS, res.P99LatencyMS, res.StageMeanMS["solve"], res.Errors, res.Rejected)
 			}
 		}
 	}

@@ -4,9 +4,12 @@
 // profile-keyed precedence-matrix tier so different methods over the same
 // profile share the O(n²·m) construction), single-flight request
 // coalescing, a bounded admission queue with 429 backpressure, per-request
-// deadlines (best-so-far on expiry), and /healthz + /statz observability
-// endpoints. With -cache-dir both tiers persist to a versioned on-disk
-// store, so a restarted daemon serves its previous working set warm; bump
+// deadlines (best-so-far on expiry), and observability endpoints: /healthz,
+// /statz (JSON), /metricsz (Prometheus text over the same registry), and
+// /tracez (recent and slowest request traces with per-stage spans; pair
+// with -trace-slow-ms to also log slow requests' span breakdowns). With
+// -cache-dir both tiers persist to a versioned on-disk store, so a
+// restarted daemon serves its previous working set warm; bump
 // -cache-engine-version to invalidate everything persisted.
 //
 // Quickstart:
@@ -54,6 +57,7 @@ func main() {
 	precCacheMiB := flag.Int("prec-cache-mib", 16, "precedence-matrix cache budget in MiB (4 bytes per matrix cell; 0 disables)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request compute deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper bound on client-requested deadlines")
+	traceSlowMS := flag.Int("trace-slow-ms", 0, "log any request at least this slow with its span breakdown (0 disables; traces land in /tracez regardless)")
 	logLevel := flag.String("log-level", "info", "debug|info|warn|error")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060); empty disables")
 	flag.Parse()
@@ -81,6 +85,7 @@ func main() {
 		PrecCacheCells:  precCells,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
+		TraceSlow:       time.Duration(*traceSlowMS) * time.Millisecond,
 		Logger:          logger,
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"manirank/internal/fairness"
+	"manirank/internal/obs"
 	"manirank/internal/ranking"
 )
 
@@ -244,7 +245,9 @@ func (e *Engine) Solve(ctx context.Context, m Method, targets []Target, opts ...
 		o(&cfg)
 	}
 	start := time.Now()
+	endSolve := obs.StartSpan(ctx, "solve")
 	r, partial, err := ent.solve(ctx, e, targets, cfg.kemeny)
+	endSolve()
 	// The clock stops here: the PD-loss scan and the audit below are result
 	// bookkeeping, not solve work, and must not be charged to Elapsed (the
 	// scalability experiments report it).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"manirank/internal/obs"
 	"manirank/internal/ranking"
 )
 
@@ -39,7 +40,9 @@ func LocalSearch(w *ranking.Precedence, r ranking.Ranking) ranking.Ranking {
 func localSearchDelta(ctx context.Context, w *ranking.Precedence, r ranking.Ranking) int {
 	n := len(r)
 	total := 0
+	tr := obs.FromContext(ctx)
 	for improved := true; improved && ctx.Err() == nil; {
+		endPass := tr.StartSpan("kemeny_descent_pass")
 		improved = false
 		for i := 0; i < n; i++ {
 			c := r[i]
@@ -69,6 +72,7 @@ func localSearchDelta(ctx context.Context, w *ranking.Precedence, r ranking.Rank
 				improved = true
 			}
 		}
+		endPass()
 	}
 	return total
 }
@@ -130,8 +134,10 @@ func Heuristic(w *ranking.Precedence, opts Options) ranking.Ranking {
 // deterministic.
 func HeuristicCtx(ctx context.Context, w *ranking.Precedence, opts Options) ranking.Ranking {
 	opts = opts.withDefaults()
+	endSeed := obs.StartSpan(ctx, "kemeny_seed_descent")
 	seed := BordaFromPrecedence(w)
 	seedCost := w.KemenyCost(seed) + localSearchDelta(ctx, w, seed)
+	endSeed()
 	best, _ := restartSearch(ctx, w, nil, seed, seedCost, opts)
 	return best
 }
@@ -177,6 +183,7 @@ func ConstrainedSearchCtx(ctx context.Context, w *ranking.Precedence, cons []Con
 		panic("kemeny: ConstrainedSearch start ranking violates constraints")
 	}
 	opts = opts.withDefaults()
+	endSeed := obs.StartSpan(ctx, "kemeny_seed_descent")
 	seed := start.Clone()
 	seedCost := w.KemenyCost(seed)
 	if len(cons) > 0 {
@@ -193,6 +200,7 @@ func ConstrainedSearchCtx(ctx context.Context, w *ranking.Precedence, cons []Con
 		// best-improvement descent applies.
 		seedCost += localSearchDelta(ctx, w, seed)
 	}
+	endSeed()
 	best, _ := restartSearch(ctx, w, cons, seed, seedCost, opts)
 	return best
 }
@@ -209,7 +217,9 @@ func ConstrainedSearchCtx(ctx context.Context, w *ranking.Precedence, cons []Con
 func (sc *searchScratch) constrainedDescentDelta(ctx context.Context, w *ranking.Precedence, cons []Constraint, r ranking.Ranking) int {
 	n := len(r)
 	total := 0
+	tr := obs.FromContext(ctx)
 	for improved := true; improved && ctx.Err() == nil; {
+		endPass := tr.StartSpan("kemeny_descent_pass")
 		improved = false
 		for i := 0; i < n; i++ {
 			cands := sc.scanMoves(w, r, i)
@@ -237,6 +247,7 @@ func (sc *searchScratch) constrainedDescentDelta(ctx context.Context, w *ranking
 				cands = popMove(cands)
 			}
 		}
+		endPass()
 	}
 	return total
 }

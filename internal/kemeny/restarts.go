@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"manirank/internal/obs"
 	"manirank/internal/ranking"
 )
 
@@ -143,6 +144,7 @@ func newSearchScratch(n int) *searchScratch {
 // constraint set (nil or zero-length alike) selects the cheaper
 // unconstrained descent.
 func (sc *searchScratch) runRestart(ctx context.Context, w *ranking.Precedence, cons []Constraint, seed ranking.Ranking, seedCost int, opts Options, idx int) (int, ranking.Ranking) {
+	defer obs.StartSpan(ctx, "kemeny_restart")()
 	if sc.cur == nil {
 		sc.cur = make(ranking.Ranking, len(seed))
 		sc.rng = rand.New(rand.NewSource(0))

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// cheMaxKeys bounds the popularity map. On overflow every count is halved
+// (floor) and zeros pruned — exponential decay that keeps the heavy keys
+// and forgets the long tail, so memory stays bounded under an adversarial
+// key stream while the popularity ranking survives.
+const cheMaxKeys = 8192
+
+// CheEstimator fits the Che approximation to the live request stream: it
+// keeps an online popularity histogram of cache keys and predicts the hit
+// rate an LRU-like tier of a given capacity should achieve. The serving
+// layer exports predicted next to measured per tier; sustained drift is
+// the signal that the traffic model or the tier sizing assumption is
+// wrong (ROADMAP item 3, after "A unified approach to the performance
+// analysis of caching systems").
+//
+// The prediction is the finite-window form: a key observed c times can hit
+// at most c−1 times (the first access is a compulsory miss), so
+//
+//	predicted = Σ_k (c_k − 1)·(1 − e^{−λ_k·T}) / Σ_k c_k
+//
+// with per-key intensity λ_k = c_k/total and the characteristic time T
+// solving Σ_k (1 − e^{−λ_k·T}) = C. That matches what the measured hit
+// counter sees over the same window, compulsory misses included.
+type CheEstimator struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+	total  uint64
+}
+
+// NewCheEstimator returns an empty estimator.
+func NewCheEstimator() *CheEstimator {
+	return &CheEstimator{counts: make(map[string]uint64)}
+}
+
+// Observe records one access to key.
+func (e *CheEstimator) Observe(key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.counts) >= cheMaxKeys {
+		if _, known := e.counts[key]; !known {
+			e.decayLocked()
+		}
+	}
+	e.counts[key]++
+	e.total++
+}
+
+// decayLocked halves every count (pruning zeros) and rescales the total
+// to match, preserving relative popularity.
+func (e *CheEstimator) decayLocked() {
+	var total uint64
+	for k, c := range e.counts {
+		c /= 2
+		if c == 0 {
+			delete(e.counts, k)
+			continue
+		}
+		e.counts[k] = c
+		total += c
+	}
+	e.total = total
+}
+
+// Keys returns the number of distinct keys currently tracked.
+func (e *CheEstimator) Keys() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.counts)
+}
+
+// Predict returns the hit rate in [0, 1] that an LRU tier holding
+// capacity entries should achieve on the observed stream. Zero or
+// negative capacity, or an empty stream, predicts 0. When capacity covers
+// every distinct key the prediction degenerates to 1 − distinct/total —
+// only compulsory misses remain.
+func (e *CheEstimator) Predict(capacity int) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if capacity <= 0 || e.total == 0 || len(e.counts) == 0 {
+		return 0
+	}
+	total := float64(e.total)
+	if len(e.counts) <= capacity {
+		hits := 0.0
+		for _, c := range e.counts {
+			hits += float64(c - 1)
+		}
+		return hits / total
+	}
+	lambdas := make([]float64, 0, len(e.counts))
+	weights := make([]float64, 0, len(e.counts))
+	for _, c := range e.counts {
+		lambdas = append(lambdas, float64(c)/total)
+		weights = append(weights, float64(c-1))
+	}
+	C := float64(capacity)
+	occupancy := func(T float64) float64 {
+		s := 0.0
+		for _, l := range lambdas {
+			s += 1 - math.Exp(-l*T)
+		}
+		return s
+	}
+	// Bracket the characteristic time T: occupancy is 0 at T=0 and rises
+	// monotonically toward len(counts) > C, so a root exists.
+	lo, hi := 0.0, 1.0
+	for occupancy(hi) < C && hi < 1e18 {
+		hi *= 2
+	}
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if occupancy(mid) < C {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	T := (lo + hi) / 2
+	hits := 0.0
+	for i, l := range lambdas {
+		hits += weights[i] * (1 - math.Exp(-l*T))
+	}
+	return hits / total
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free observation and
+// interpolated quantile estimates. It replaces the serving layer's
+// fixed-window latency rings: memory is O(buckets) regardless of traffic,
+// any quantile is answerable (not just a precomputed p50/p99 pair), the
+// full bucket vector exports in Prometheus histogram format, and — unlike
+// a ring whose window mixes zero-valued unfilled slots into early
+// percentiles — an empty histogram reports zero observations rather than
+// skewed quantiles.
+//
+// Buckets are defined by ascending upper bounds; observations above the
+// last bound land in an implicit +Inf overflow bucket whose quantiles
+// resolve to the maximum value seen. Construct with NewHistogram; the zero
+// value is not usable.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; implicit +Inf after
+	counts []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	max    atomic.Uint64 // float64 bits, CAS-maximised
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (a trailing +Inf overflow bucket is implicit — do not include one). It
+// panics on an empty or unsorted bound list: bucket schemes are
+// compile-time decisions, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must ascend")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// LatencyBuckets returns the package's standard log-spaced latency bucket
+// bounds in seconds: powers of two from 100µs to ~105s (21 buckets, so two
+// adjacent quantile estimates differ by at most 2x anywhere in the range).
+// Latency is log-normal-ish in practice, which is exactly what log-spaced
+// buckets resolve with constant relative error.
+func LatencyBuckets() []float64 {
+	bounds := make([]float64, 21)
+	v := 1e-4
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// Observe records one value. Negative values clamp to zero (durations
+// cannot be negative; a clock step must not corrupt the bucket layout).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: le-style buckets
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= v && old != 0 {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Max returns the largest value observed (0 before any observation). It is
+// exact, not a bucket bound — the overflow bucket's quantiles resolve to
+// it.
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// inside the bucket holding the target rank — the estimate is off by at
+// most one bucket's width, i.e. a factor of two with LatencyBuckets. It
+// returns 0 with no observations; q outside [0, 1] clamps.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	cum := 0.0
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.Max()
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			if hi < lo { // overflow bucket whose max predates a concurrent update
+				hi = lo
+			}
+			est := lo + (hi-lo)*((target-cum)/n)
+			// Interpolating inside the top occupied bucket can overshoot the
+			// largest value actually seen; the true quantile never does.
+			if max := h.Max(); est > max {
+				est = max
+			}
+			return est
+		}
+		cum += n
+	}
+	return h.Max()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state, in the
+// cumulative (Prometheus "le") form: Counts[i] observations were <= Bounds[i],
+// and the final slot counts everything (the +Inf bucket).
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; the implicit +Inf bound is not
+	// included but its cumulative count is the last Counts entry.
+	Bounds []float64
+	// Counts is the cumulative bucket vector, len(Bounds)+1.
+	Counts []uint64
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the sum of observed values.
+	Sum float64
+	// Max is the largest observed value.
+	Max float64
+}
+
+// Snapshot copies the histogram state. Concurrent observations may tear
+// the totals by a few counts — acceptable for monitoring, which is the
+// only consumer.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+		Max:    h.Max(),
+	}
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	return s
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Label is one name/value pair qualifying a metric, e.g. {tier, result}.
+// Metrics sharing a family name but differing in labels are distinct series
+// — the Prometheus data model. Label sets are fixed at registration time:
+// the registry has no dynamic label API on purpose, so a caller cannot grow
+// an unbounded series set from request-derived strings (the failure mode
+// the serving layer's historical per-method sync.Map had).
+type Label struct {
+	// Name is the label key; it must match [a-z_]+.
+	Name string
+	// Value is the label value; arbitrary UTF-8, escaped on exposition.
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing uint64 metric. The zero value is
+// ready to use; all methods are lock-free and safe for concurrent use.
+// Counters are shared by pointer: the cache tiers own theirs and the
+// serving layer registers the same instances, so every reader sees one
+// source of truth.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64 metric for values that go up and down
+// (resident bytes, queue depth). The zero value is ready to use; all
+// methods are lock-free and safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpans bounds a single trace's span list. A kemeny solve with many
+// restarts can emit hundreds of spans; past the cap we keep the earliest
+// spans (the request skeleton) and count the rest, so a pathological
+// request cannot grow a trace without bound.
+const maxSpans = 512
+
+// maxSpansPerName bounds how many spans a single stage name may record in
+// one trace. Solver child spans (a descent pass per local-search sweep, a
+// span per restart) repeat thousands of times in a long solve; without a
+// per-name cap they exhaust maxSpans before the request-level stages that
+// close *after* the solve ("solve", "encode") ever record, and the trace
+// loses exactly the spans /tracez exists to show.
+const maxSpansPerName = 64
+
+var traceIDs atomic.Uint64
+
+// Span is one timed stage inside a trace. Start is the offset from the
+// trace's begin time, so spans are self-contained after the trace ends.
+type Span struct {
+	// Name identifies the stage (e.g. "queue", "solve", "matrix_build").
+	Name string
+	// Start is the offset from the trace's begin time.
+	Start time.Duration
+	// Duration is how long the stage took.
+	Duration time.Duration
+}
+
+// Trace accumulates named spans for one request. It travels in a
+// context.Context (WithTrace/FromContext); every method is safe on a nil
+// receiver, so library code can instrument unconditionally and pay only a
+// pointer check when tracing is off. Span recording is mutex-guarded:
+// solver restart workers append concurrently.
+type Trace struct {
+	// ID is a process-unique trace identifier.
+	ID uint64
+	// Name labels the trace (the aggregation method for serving traces).
+	Name string
+	// Detail carries a short free-form qualifier (e.g. a digest prefix).
+	Detail string
+	// Begin is the trace's start time.
+	Begin time.Time
+
+	mu      sync.Mutex
+	spans   []Span
+	perName map[string]int
+	dropped int
+	wall    time.Duration
+}
+
+// NewTrace starts a trace clocked from now.
+func NewTrace(name, detail string) *Trace {
+	return &Trace{ID: traceIDs.Add(1), Name: name, Detail: detail, Begin: time.Now()}
+}
+
+// AddSpan records a completed stage by absolute start/end times.
+func (t *Trace) AddSpan(name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	if t.perName == nil {
+		t.perName = make(map[string]int)
+	}
+	if len(t.spans) >= maxSpans || t.perName[name] >= maxSpansPerName {
+		t.dropped++
+	} else {
+		t.perName[name]++
+		t.spans = append(t.spans, Span{Name: name, Start: start.Sub(t.Begin), Duration: d})
+	}
+	t.mu.Unlock()
+}
+
+// StartSpan starts a stage and returns the function that ends it:
+//
+//	defer trace.StartSpan("solve")()
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.AddSpan(name, start, time.Now()) }
+}
+
+// Finish stamps the trace's wall time and returns it. Later calls return
+// the first stamp, so a deferred Finish is idempotent.
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wall == 0 {
+		t.wall = time.Since(t.Begin)
+	}
+	return t.wall
+}
+
+// Wall returns the finished wall time (0 until Finish).
+func (t *Trace) Wall() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wall
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// SpanSnapshot is one span in JSON form, durations in milliseconds.
+type SpanSnapshot struct {
+	// Name is the stage name.
+	Name string `json:"name"`
+	// OffsetMS is the span start as milliseconds after the trace began.
+	OffsetMS float64 `json:"offset_ms"`
+	// DurationMS is the span duration in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// TraceSnapshot is a completed trace in JSON form for /tracez.
+type TraceSnapshot struct {
+	// ID is the trace identifier.
+	ID uint64 `json:"id"`
+	// Name labels the trace (the aggregation method).
+	Name string `json:"name"`
+	// Detail is the trace's qualifier, if any.
+	Detail string `json:"detail,omitempty"`
+	// Start is the trace begin time, RFC 3339.
+	Start time.Time `json:"start"`
+	// WallMS is the request wall time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Spans are the recorded stages in recording order.
+	Spans []SpanSnapshot `json:"spans"`
+	// SpansDropped counts spans discarded past the per-trace cap.
+	SpansDropped int `json:"spans_dropped,omitempty"`
+}
+
+// Snapshot renders the trace for serving.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TraceSnapshot{
+		ID:           t.ID,
+		Name:         t.Name,
+		Detail:       t.Detail,
+		Start:        t.Begin,
+		WallMS:       float64(t.wall) / float64(time.Millisecond),
+		Spans:        make([]SpanSnapshot, len(t.spans)),
+		SpansDropped: t.dropped,
+	}
+	for i, sp := range t.spans {
+		s.Spans[i] = SpanSnapshot{
+			Name:       sp.Name,
+			OffsetMS:   float64(sp.Start) / float64(time.Millisecond),
+			DurationMS: float64(sp.Duration) / float64(time.Millisecond),
+		}
+	}
+	return s
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil — and nil is a valid
+// receiver for every Trace method, so callers never branch.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a span on the context's trace (no-op without one):
+//
+//	defer obs.StartSpan(ctx, "matrix_build")()
+func StartSpan(ctx context.Context, name string) func() {
+	return FromContext(ctx).StartSpan(name)
+}

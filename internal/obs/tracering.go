@@ -1,0 +1,94 @@
+package obs
+
+import "sync"
+
+// TraceRing retains completed traces under two bounded policies at once:
+// a FIFO ring of the most recent traces, and a slowest-N set a newcomer
+// only enters by strictly beating the current minimum wall time (ties
+// keep the incumbent — the earlier slow request wins). Memory is bounded
+// by recentCap+slowCap traces regardless of traffic.
+type TraceRing struct {
+	mu        sync.Mutex
+	recent    []*Trace // ring buffer, next is the write cursor
+	next      int
+	recentCap int
+	slow      []*Trace // unordered; scanned at insert, sorted at snapshot
+	slowCap   int
+}
+
+// NewTraceRing sizes the two retention sets; non-positive caps get
+// defaults (256 recent, 32 slowest).
+func NewTraceRing(recentCap, slowCap int) *TraceRing {
+	if recentCap <= 0 {
+		recentCap = 256
+	}
+	if slowCap <= 0 {
+		slowCap = 32
+	}
+	return &TraceRing{
+		recent:    make([]*Trace, 0, recentCap),
+		recentCap: recentCap,
+		slow:      make([]*Trace, 0, slowCap),
+		slowCap:   slowCap,
+	}
+}
+
+// Add retains a finished trace (Finish must have been called). Nil traces
+// are ignored.
+func (r *TraceRing) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recent) < r.recentCap {
+		r.recent = append(r.recent, t)
+	} else {
+		r.recent[r.next] = t
+		r.next = (r.next + 1) % r.recentCap
+	}
+	if len(r.slow) < r.slowCap {
+		r.slow = append(r.slow, t)
+		return
+	}
+	minIdx, minWall := -1, t.Wall()
+	for i, s := range r.slow {
+		if w := s.Wall(); w < minWall {
+			minIdx, minWall = i, w
+		}
+	}
+	if minIdx >= 0 {
+		r.slow[minIdx] = t
+	}
+}
+
+// Snapshot returns the retained traces rendered for /tracez: recent
+// newest-first, slowest by descending wall time.
+func (r *TraceRing) Snapshot() (recent, slowest []TraceSnapshot) {
+	r.mu.Lock()
+	rec := make([]*Trace, 0, len(r.recent))
+	// Walk the ring backwards from the cursor so output is newest-first.
+	for i := 0; i < len(r.recent); i++ {
+		idx := (r.next - 1 - i + len(r.recent)) % len(r.recent)
+		rec = append(rec, r.recent[idx])
+	}
+	sl := make([]*Trace, len(r.slow))
+	copy(sl, r.slow)
+	r.mu.Unlock()
+
+	recent = make([]TraceSnapshot, len(rec))
+	for i, t := range rec {
+		recent[i] = t.Snapshot()
+	}
+	slowest = make([]TraceSnapshot, len(sl))
+	for i, t := range sl {
+		slowest[i] = t.Snapshot()
+	}
+	// Insertion sort by wall descending; slowCap is tens, not thousands.
+	for i := 1; i < len(slowest); i++ {
+		for j := i; j > 0 && slowest[j].WallMS > slowest[j-1].WallMS; j-- {
+			slowest[j], slowest[j-1] = slowest[j-1], slowest[j]
+		}
+	}
+	return recent, slowest
+}

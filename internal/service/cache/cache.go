@@ -36,6 +36,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"manirank/internal/obs"
 )
 
 // Stats is a point-in-time snapshot of the result-cache counters.
@@ -122,9 +124,46 @@ type Cache struct {
 
 	store Store // nil: memory only
 	codec Codec
+	sizer func(value any) int64 // nil: resident bytes unreported
 
-	hits, misses, coalesced, evictions, expirations uint64
-	diskHits, diskPuts, diskErrors                  uint64
+	counters Counters
+}
+
+// Counters exposes the result tier's live counters. The cache owns the
+// atomics and increments them; the serving layer adopts the same pointers
+// into its obs.Registry, so /statz (via Stats) and /metricsz read one
+// source of truth.
+type Counters struct {
+	// Hits counts Do calls served from the in-memory store.
+	Hits *obs.Counter
+	// Misses counts Do calls that had to compute, join, or restore.
+	Misses *obs.Counter
+	// Coalesced counts Do calls that joined an in-flight computation.
+	Coalesced *obs.Counter
+	// Evictions counts entries dropped by capacity pressure.
+	Evictions *obs.Counter
+	// Expirations counts entries dropped because their TTL elapsed.
+	Expirations *obs.Counter
+	// DiskHits counts Do calls served by a persistent-store restore.
+	DiskHits *obs.Counter
+	// DiskPuts counts successful write-throughs to the persistent store.
+	DiskPuts *obs.Counter
+	// DiskErrors counts persistent-store failures the cache absorbed.
+	DiskErrors *obs.Counter
+}
+
+// newCounters allocates one atomic per counter.
+func newCounters() Counters {
+	return Counters{
+		Hits:        new(obs.Counter),
+		Misses:      new(obs.Counter),
+		Coalesced:   new(obs.Counter),
+		Evictions:   new(obs.Counter),
+		Expirations: new(obs.Counter),
+		DiskHits:    new(obs.Counter),
+		DiskPuts:    new(obs.Counter),
+		DiskErrors:  new(obs.Counter),
+	}
 }
 
 // New returns an LRU cache holding up to capacity results for at most ttl
@@ -152,7 +191,37 @@ func NewWithPolicy(capacity int, ttl time.Duration, policy string) (*Cache, erro
 		items:    make(map[string]*entry),
 		flights:  make(map[string]*flight),
 		now:      time.Now,
+		counters: newCounters(),
 	}, nil
+}
+
+// Counters returns the tier's live counters for registry adoption.
+func (c *Cache) Counters() Counters { return c.counters }
+
+// SetSizer installs a function pricing a stored value in bytes; with one
+// installed, Bytes reports the tier's resident footprint. Install before
+// serving traffic; the field is not synchronised against concurrent Do
+// calls.
+func (c *Cache) SetSizer(fn func(value any) int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sizer = fn
+}
+
+// Bytes returns the resident footprint of the stored values per the
+// installed sizer (0 without one). It walks the store under the lock —
+// priced for scrape-time calls, not per-request ones.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sizer == nil {
+		return 0
+	}
+	var total int64
+	for _, e := range c.items {
+		total += c.sizer(e.value)
+	}
+	return total
 }
 
 // SetClock replaces the cache's time source; tests use it to drive TTL
@@ -185,7 +254,7 @@ func (c *Cache) lookupLocked(key string) (any, bool) {
 	if e.expired(c.now()) {
 		delete(c.items, key)
 		c.policy.Forget(key)
-		c.expirations++
+		c.counters.Expirations.Inc()
 		return nil, false
 	}
 	c.policy.Hit(key)
@@ -215,7 +284,7 @@ func (c *Cache) storeLocked(key string, value any, expiresAt time.Time) {
 	}
 	if victim := c.policy.Add(key); victim != "" {
 		delete(c.items, victim)
-		c.evictions++
+		c.counters.Evictions.Inc()
 	}
 	c.items[key] = &entry{value: value, expiresAt: expiresAt}
 }
@@ -237,7 +306,7 @@ func (c *Cache) sweepLocked(now time.Time) int {
 		if e.expired(now) {
 			delete(c.items, key)
 			c.policy.Forget(key)
-			c.expirations++
+			c.counters.Expirations.Inc()
 			removed++
 		}
 	}
@@ -270,16 +339,20 @@ func (c *Cache) Sweep() int {
 // disk) rather than a computation; shared reports it came from another
 // caller's computation.
 func (c *Cache) Do(ctx context.Context, key string, compute func() (any, bool, error)) (value any, hit, shared bool, err error) {
+	endLookup := obs.StartSpan(ctx, "result_lookup")
 	c.mu.Lock()
 	if v, ok := c.lookupLocked(key); ok {
-		c.hits++
+		c.counters.Hits.Inc()
 		c.mu.Unlock()
+		endLookup()
 		return v, true, false, nil
 	}
-	c.misses++
+	c.counters.Misses.Inc()
 	if f, ok := c.flights[key]; ok {
-		c.coalesced++
+		c.counters.Coalesced.Inc()
 		c.mu.Unlock()
+		endLookup()
+		defer obs.StartSpan(ctx, "result_wait")()
 		select {
 		case <-f.done:
 			return f.value, false, true, f.err
@@ -290,19 +363,20 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, bool, e
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.mu.Unlock()
+	endLookup()
 
 	// Resolve the flight even if compute (or the disk restore) panics, so
 	// followers never hang — and never mistake the crash for a cancellation.
 	completed := false
 	defer func() {
 		if !completed {
-			c.finish(key, f, nil, false, errComputePanic)
+			c.finish(ctx, key, f, nil, false, errComputePanic)
 		}
 	}()
-	if v, expiry, ok := c.restore(key); ok {
+	if v, expiry, ok := c.restore(ctx, key); ok {
 		completed = true
 		c.mu.Lock()
-		c.diskHits++
+		c.counters.DiskHits.Inc()
 		c.storeLocked(key, v, expiry)
 		delete(c.flights, key)
 		c.mu.Unlock()
@@ -312,7 +386,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, bool, e
 	}
 	v, cacheable, cerr := compute()
 	completed = true
-	c.finish(key, f, v, cacheable, cerr)
+	c.finish(ctx, key, f, v, cacheable, cerr)
 	return v, false, false, cerr
 }
 
@@ -320,16 +394,17 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, bool, e
 // is absorbed (counted under DiskErrors, the entry deleted) — a broken disk
 // entry must degrade to a recompute, never an outage. The entry's absolute
 // expiry is preserved, so a restart cannot extend a result's life.
-func (c *Cache) restore(key string) (value any, expiry time.Time, ok bool) {
+func (c *Cache) restore(ctx context.Context, key string) (value any, expiry time.Time, ok bool) {
 	c.mu.Lock()
 	store, codec := c.store, c.codec
 	c.mu.Unlock()
 	if store == nil {
 		return nil, time.Time{}, false
 	}
+	defer obs.StartSpan(ctx, "result_disk_read")()
 	data, expiry, found, err := store.Get(key)
 	if err != nil {
-		c.countDiskError()
+		c.counters.DiskErrors.Inc()
 		return nil, time.Time{}, false
 	}
 	if !found {
@@ -338,38 +413,31 @@ func (c *Cache) restore(key string) (value any, expiry time.Time, ok bool) {
 	v, err := codec.Decode(data)
 	if err != nil {
 		store.Delete(key)
-		c.countDiskError()
+		c.counters.DiskErrors.Inc()
 		return nil, time.Time{}, false
 	}
 	return v, expiry, true
 }
 
-func (c *Cache) countDiskError() {
-	c.mu.Lock()
-	c.diskErrors++
-	c.mu.Unlock()
-}
-
 // persist writes one entry through to the store (outside c.mu — encoding and
 // I/O must not serialise the cache). Failures are absorbed and counted.
-func (c *Cache) persist(store Store, codec Codec, key string, value any, expiry time.Time) {
+func (c *Cache) persist(ctx context.Context, store Store, codec Codec, key string, value any, expiry time.Time) {
+	defer obs.StartSpan(ctx, "result_disk_write")()
 	data, err := codec.Encode(value)
 	if err == nil {
 		err = store.Put(key, data, expiry)
 	}
-	c.mu.Lock()
 	if err != nil {
-		c.diskErrors++
+		c.counters.DiskErrors.Inc()
 	} else {
-		c.diskPuts++
+		c.counters.DiskPuts.Inc()
 	}
-	c.mu.Unlock()
 }
 
 // finish publishes a flight's outcome, stores cacheable successes (writing
 // through to the persistent store when one is attached), and wakes the
 // followers.
-func (c *Cache) finish(key string, f *flight, value any, cacheable bool, err error) {
+func (c *Cache) finish(ctx context.Context, key string, f *flight, value any, cacheable bool, err error) {
 	var (
 		store  Store
 		codec  Codec
@@ -386,7 +454,7 @@ func (c *Cache) finish(key string, f *flight, value any, cacheable bool, err err
 	delete(c.flights, key)
 	c.mu.Unlock()
 	if store != nil {
-		c.persist(store, codec, key, value, expiry)
+		c.persist(ctx, store, codec, key, value, expiry)
 	}
 	f.value, f.err = value, err
 	close(f.done)
@@ -418,7 +486,7 @@ func (c *Cache) Flush() int {
 	}
 	c.mu.Unlock()
 	for _, s := range snaps {
-		c.persist(store, codec, s.key, s.value, s.expiry)
+		c.persist(context.Background(), store, codec, s.key, s.value, s.expiry)
 	}
 	return len(snaps)
 }
@@ -429,14 +497,14 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		Policy:      c.policy.Name(),
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Coalesced:   c.coalesced,
-		Evictions:   c.evictions,
-		Expirations: c.expirations,
-		DiskHits:    c.diskHits,
-		DiskPuts:    c.diskPuts,
-		DiskErrors:  c.diskErrors,
+		Hits:        c.counters.Hits.Value(),
+		Misses:      c.counters.Misses.Value(),
+		Coalesced:   c.counters.Coalesced.Value(),
+		Evictions:   c.counters.Evictions.Value(),
+		Expirations: c.counters.Expirations.Value(),
+		DiskHits:    c.counters.DiskHits.Value(),
+		DiskPuts:    c.counters.DiskPuts.Value(),
+		DiskErrors:  c.counters.DiskErrors.Value(),
 		Entries:     len(c.items),
 		InFlight:    len(c.flights),
 	}

@@ -5,6 +5,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"manirank/internal/obs"
 )
 
 // MatrixStats is a point-in-time snapshot of a MatrixCache's counters.
@@ -93,8 +95,37 @@ type MatrixCache struct {
 	codec Codec
 	cost  func(value any) int64 // admission cost of a restored value
 
-	hits, misses, coalesced, builds, evictions, rejected uint64
-	diskHits, diskPuts, diskErrors                       uint64
+	counters MatrixCounters
+}
+
+// MatrixCounters exposes the matrix tier's live counters; like the result
+// tier's Counters, the cache owns the atomics and the serving layer
+// adopts the same pointers into its registry.
+type MatrixCounters struct {
+	// Hits counts Do calls served a stored matrix from memory.
+	Hits *obs.Counter
+	// Misses counts Do calls that found nothing stored in memory.
+	Misses *obs.Counter
+	// Coalesced counts Do calls that joined an in-flight build.
+	Coalesced *obs.Counter
+	// Builds counts builder executions — the constructions actually paid.
+	Builds *obs.Counter
+	// Evictions counts entries dropped under cost pressure.
+	Evictions *obs.Counter
+	// Rejected counts built values too large to admit at all.
+	Rejected *obs.Counter
+	// DiskHits counts Do calls served by restoring a persisted matrix.
+	DiskHits *obs.Counter
+	// DiskPuts counts successful write-throughs to the persistent store.
+	DiskPuts *obs.Counter
+	// DiskErrors counts persistent-store failures the cache absorbed.
+	DiskErrors *obs.Counter
+}
+
+// BuildsSkipped derives the tier's reason to exist: Do calls that
+// returned a matrix without running the builder.
+func (m MatrixCounters) BuildsSkipped() uint64 {
+	return m.Hits.Value() + m.Coalesced.Value() + m.DiskHits.Value()
 }
 
 // NewMatrixCache returns a matrix cache with the given cost budget (for
@@ -108,8 +139,22 @@ func NewMatrixCache(budget int64) *MatrixCache {
 		ll:      list.New(),
 		items:   make(map[string]*list.Element),
 		flights: make(map[string]*matrixFlight),
+		counters: MatrixCounters{
+			Hits:       new(obs.Counter),
+			Misses:     new(obs.Counter),
+			Coalesced:  new(obs.Counter),
+			Builds:     new(obs.Counter),
+			Evictions:  new(obs.Counter),
+			Rejected:   new(obs.Counter),
+			DiskHits:   new(obs.Counter),
+			DiskPuts:   new(obs.Counter),
+			DiskErrors: new(obs.Counter),
+		},
 	}
 }
+
+// Counters returns the tier's live counters for registry adoption.
+func (c *MatrixCache) Counters() MatrixCounters { return c.counters }
 
 // AttachStore puts the persistent tier under the cache: every admitted build
 // is written through (encoded by codec), and a memory miss consults the
@@ -139,18 +184,22 @@ func (c *MatrixCache) AttachStore(s Store, codec Codec, cost func(value any) int
 // hit reports the value came from the store (memory or disk); shared
 // reports it came from another caller's build.
 func (c *MatrixCache) Do(ctx context.Context, key string, build func() (value any, cost int64, err error)) (value any, hit, shared bool, err error) {
+	endLookup := obs.StartSpan(ctx, "matrix_lookup")
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
-		c.hits++
+		c.counters.Hits.Inc()
 		c.ll.MoveToFront(el)
 		v := el.Value.(*matrixEntry).value
 		c.mu.Unlock()
+		endLookup()
 		return v, true, false, nil
 	}
-	c.misses++
+	c.counters.Misses.Inc()
 	if f, ok := c.flights[key]; ok {
-		c.coalesced++
+		c.counters.Coalesced.Inc()
 		c.mu.Unlock()
+		endLookup()
+		defer obs.StartSpan(ctx, "matrix_wait")()
 		select {
 		case <-f.done:
 			return f.value, false, true, f.err
@@ -161,19 +210,20 @@ func (c *MatrixCache) Do(ctx context.Context, key string, build func() (value an
 	f := &matrixFlight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.mu.Unlock()
+	endLookup()
 
 	// Resolve the flight even if build (or the disk restore) panics, so
 	// followers never hang.
 	completed := false
 	defer func() {
 		if !completed {
-			c.finish(key, f, nil, 0, false, errMatrixBuildPanic)
+			c.finish(ctx, key, f, nil, 0, false, errMatrixBuildPanic)
 		}
 	}()
-	if v, ok := c.restore(key); ok {
+	if v, ok := c.restore(ctx, key); ok {
 		completed = true
 		c.mu.Lock()
-		c.diskHits++
+		c.counters.DiskHits.Inc()
 		c.storeLocked(key, v, c.cost(v))
 		delete(c.flights, key)
 		c.mu.Unlock()
@@ -181,9 +231,11 @@ func (c *MatrixCache) Do(ctx context.Context, key string, build func() (value an
 		close(f.done)
 		return v, true, false, nil
 	}
+	endBuild := obs.StartSpan(ctx, "matrix_build")
 	v, cost, berr := build()
+	endBuild()
 	completed = true
-	c.finish(key, f, v, cost, true, berr)
+	c.finish(ctx, key, f, v, cost, true, berr)
 	return v, false, false, berr
 }
 
@@ -200,16 +252,17 @@ func (e errorString) Error() string { return string(e) }
 
 // restore consults the persistent store for key, absorbing (and counting)
 // any store or decode failure as a miss.
-func (c *MatrixCache) restore(key string) (value any, ok bool) {
+func (c *MatrixCache) restore(ctx context.Context, key string) (value any, ok bool) {
 	c.mu.Lock()
 	store, codec := c.store, c.codec
 	c.mu.Unlock()
 	if store == nil {
 		return nil, false
 	}
+	defer obs.StartSpan(ctx, "matrix_disk_read")()
 	data, _, found, err := store.Get(key)
 	if err != nil {
-		c.countDiskError()
+		c.counters.DiskErrors.Inc()
 		return nil, false
 	}
 	if !found {
@@ -218,39 +271,32 @@ func (c *MatrixCache) restore(key string) (value any, ok bool) {
 	v, err := codec.Decode(data)
 	if err != nil {
 		store.Delete(key)
-		c.countDiskError()
+		c.counters.DiskErrors.Inc()
 		return nil, false
 	}
 	return v, true
 }
 
-func (c *MatrixCache) countDiskError() {
-	c.mu.Lock()
-	c.diskErrors++
-	c.mu.Unlock()
-}
-
 // persist writes one matrix through to the store (outside c.mu). Failures
 // are absorbed and counted.
-func (c *MatrixCache) persist(store Store, codec Codec, key string, value any) {
+func (c *MatrixCache) persist(ctx context.Context, store Store, codec Codec, key string, value any) {
+	defer obs.StartSpan(ctx, "matrix_disk_write")()
 	data, err := codec.Encode(value)
 	if err == nil {
 		err = store.Put(key, data, time.Time{})
 	}
-	c.mu.Lock()
 	if err != nil {
-		c.diskErrors++
+		c.counters.DiskErrors.Inc()
 	} else {
-		c.diskPuts++
+		c.counters.DiskPuts.Inc()
 	}
-	c.mu.Unlock()
 }
 
 // finish publishes a build's outcome, stores successes that fit (writing
 // fresh builds through to the persistent store), and wakes the followers.
 // fresh distinguishes a builder execution from a disk restore: only the
 // former counts a Build and earns a write-through.
-func (c *MatrixCache) finish(key string, f *matrixFlight, value any, cost int64, fresh bool, err error) {
+func (c *MatrixCache) finish(ctx context.Context, key string, f *matrixFlight, value any, cost int64, fresh bool, err error) {
 	var (
 		store Store
 		codec Codec
@@ -258,7 +304,7 @@ func (c *MatrixCache) finish(key string, f *matrixFlight, value any, cost int64,
 	c.mu.Lock()
 	if err == nil {
 		if fresh {
-			c.builds++
+			c.counters.Builds.Inc()
 		}
 		c.storeLocked(key, value, cost)
 		if fresh && c.budget > 0 {
@@ -271,7 +317,7 @@ func (c *MatrixCache) finish(key string, f *matrixFlight, value any, cost int64,
 	delete(c.flights, key)
 	c.mu.Unlock()
 	if store != nil {
-		c.persist(store, codec, key, value)
+		c.persist(ctx, store, codec, key, value)
 	}
 	f.value, f.err = value, err
 	close(f.done)
@@ -283,7 +329,7 @@ func (c *MatrixCache) finish(key string, f *matrixFlight, value any, cost int64,
 func (c *MatrixCache) storeLocked(key string, value any, cost int64) {
 	if c.budget <= 0 || cost > c.budget {
 		if c.budget > 0 {
-			c.rejected++
+			c.counters.Rejected.Inc()
 		}
 		return
 	}
@@ -302,7 +348,7 @@ func (c *MatrixCache) storeLocked(key string, value any, cost int64) {
 		c.ll.Remove(tail)
 		delete(c.items, e.key)
 		c.used -= e.cost
-		c.evictions++
+		c.counters.Evictions.Inc()
 	}
 }
 
@@ -328,7 +374,7 @@ func (c *MatrixCache) Flush() int {
 	}
 	c.mu.Unlock()
 	for _, s := range snaps {
-		c.persist(store, codec, s.key, s.value)
+		c.persist(context.Background(), store, codec, s.key, s.value)
 	}
 	return len(snaps)
 }
@@ -338,16 +384,16 @@ func (c *MatrixCache) Stats() MatrixStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return MatrixStats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Coalesced:     c.coalesced,
-		Builds:        c.builds,
-		BuildsSkipped: c.hits + c.coalesced + c.diskHits,
-		Evictions:     c.evictions,
-		Rejected:      c.rejected,
-		DiskHits:      c.diskHits,
-		DiskPuts:      c.diskPuts,
-		DiskErrors:    c.diskErrors,
+		Hits:          c.counters.Hits.Value(),
+		Misses:        c.counters.Misses.Value(),
+		Coalesced:     c.counters.Coalesced.Value(),
+		Builds:        c.counters.Builds.Value(),
+		BuildsSkipped: c.counters.BuildsSkipped(),
+		Evictions:     c.counters.Evictions.Value(),
+		Rejected:      c.counters.Rejected.Value(),
+		DiskHits:      c.counters.DiskHits.Value(),
+		DiskPuts:      c.counters.DiskPuts.Value(),
+		DiskErrors:    c.counters.DiskErrors.Value(),
 		Entries:       len(c.items),
 		CostUsed:      c.used,
 		CostBudget:    c.budget,

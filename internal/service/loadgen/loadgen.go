@@ -12,6 +12,7 @@
 package loadgen
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -20,6 +21,8 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -114,6 +117,19 @@ type Result struct {
 	// them (a disk hit is a memory miss the persistent tier absorbed).
 	ResultDiskHits uint64 `json:"result_disk_hits"`
 	MatrixDiskHits uint64 `json:"matrix_disk_hits"`
+	// StageMeanMS attributes mean request time to the server-side stages
+	// (queue, cache lookups, matrix build, solve, encode …), scraped from
+	// /metricsz's manirank_stage_seconds histograms — BENCH_8's latency
+	// breakdown: where a request's milliseconds actually go at each skew.
+	StageMeanMS map[string]float64 `json:"stage_mean_ms,omitempty"`
+	// The model columns pair each tier's measured hit rate with the
+	// server's online Che-approximation prediction for the configured
+	// capacity; drift (measured − predicted) near zero means the capacity
+	// model can be trusted for sizing.
+	PredictedHitRate       float64 `json:"predicted_hit_rate"`
+	HitRateDrift           float64 `json:"hit_rate_drift"`
+	MatrixPredictedHitRate float64 `json:"matrix_predicted_hit_rate"`
+	MatrixHitRateDrift     float64 `json:"matrix_hit_rate_drift"`
 }
 
 // buildPool generates the distinct request bodies, pre-marshalled once —
@@ -194,6 +210,57 @@ func fetchStatz(url string) (service.Statz, error) {
 		return st, fmt.Errorf("loadgen: statz status %d", resp.StatusCode)
 	}
 	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// fetchMetrics scrapes /metricsz and returns every sample keyed by its full
+// series string (metric name plus label block, exactly as exposed).
+func fetchMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url + "/metricsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: metricsz status %d", resp.StatusCode)
+	}
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			return nil, fmt.Errorf("loadgen: malformed metricsz line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: parsing metricsz line %q: %w", line, err)
+		}
+		samples[line[:sp]] = v
+	}
+	return samples, sc.Err()
+}
+
+// stageMeans reduces the manirank_stage_seconds histograms to a mean
+// milliseconds-per-observation map, one entry per stage that recorded at
+// least one span during the run.
+func stageMeans(samples map[string]float64) map[string]float64 {
+	const prefix = `manirank_stage_seconds_sum{stage="`
+	means := map[string]float64{}
+	for series, sum := range samples {
+		if !strings.HasPrefix(series, prefix) {
+			continue
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(series, prefix), `"}`)
+		count := samples[`manirank_stage_seconds_count{stage="`+stage+`"}`]
+		if count > 0 {
+			means[stage] = sum / count * 1000
+		}
+	}
+	return means
 }
 
 // Run replays the workload and reports the measured serving behaviour.
@@ -306,5 +373,14 @@ func Run(cfg Config) (Result, error) {
 	res.MatrixHitRate = st.Matrix.HitRate()
 	res.ResultDiskHits = st.Cache.DiskHits
 	res.MatrixDiskHits = st.Matrix.DiskHits
+	samples, err := fetchMetrics(cfg.URL)
+	if err != nil {
+		return res, fmt.Errorf("loadgen: scraping metricsz after the run: %w", err)
+	}
+	res.StageMeanMS = stageMeans(samples)
+	res.PredictedHitRate = samples[`manirank_cache_hit_rate_predicted{tier="result"}`]
+	res.HitRateDrift = samples[`manirank_cache_hit_rate_drift{tier="result"}`]
+	res.MatrixPredictedHitRate = samples[`manirank_cache_hit_rate_predicted{tier="matrix"}`]
+	res.MatrixHitRateDrift = samples[`manirank_cache_hit_rate_drift{tier="matrix"}`]
 	return res, nil
 }

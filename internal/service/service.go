@@ -16,9 +16,15 @@
 //     worker pool, per-request deadlines threaded as context.Context into
 //     the Kemeny/Fair-Kemeny restart loops (best-so-far on expiry), and
 //     backpressure (HTTP 429) when the queue is full;
-//  3. observability: /statz (queue depth, in-flight solves, per-tier cache
-//     counters including matrix builds skipped, p50/p99 latency rings) and
-//     structured request logging.
+//  3. observability (internal/obs, DESIGN.md §11): one obs.Registry holds
+//     every counter, gauge, and latency histogram; /statz renders it as
+//     JSON and /metricsz as Prometheus text — the same live atomics, so
+//     the two can never disagree. Each request carries an obs.Trace whose
+//     per-stage spans (queue, cache lookups, disk, matrix build, solve,
+//     encode) land in a bounded ring at /tracez, with requests slower
+//     than Config.TraceSlow also logged with their span breakdown. Per
+//     tier, a Che-style estimator predicts the hit rate the configured
+//     capacity should achieve and exports it next to the measured rate.
 //
 // See DESIGN.md §6–§7 for the queue → caches → solver architecture.
 package service
@@ -32,6 +38,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +46,7 @@ import (
 	"manirank"
 	"manirank/internal/aggregate"
 	"manirank/internal/kemeny"
+	"manirank/internal/obs"
 	"manirank/internal/ranking"
 	"manirank/internal/service/cache"
 )
@@ -90,6 +98,10 @@ type Config struct {
 	MaxDeadline time.Duration
 	// MaxBodyBytes bounds the request body (default 32 MiB).
 	MaxBodyBytes int64
+	// TraceSlow, when positive, logs any request whose wall time reaches it
+	// with the request's full span breakdown (the trace lands in /tracez
+	// either way). Zero disables the slow-request log.
+	TraceSlow time.Duration
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
 }
@@ -172,11 +184,12 @@ type AggregateResponse struct {
 
 // job is one admitted solve travelling from the handler to a worker.
 type job struct {
-	pb   *problem
-	ctx  context.Context // carries the compute deadline
-	done chan struct{}
-	res  *result
-	err  error
+	pb       *problem
+	ctx      context.Context // carries the compute deadline and the trace
+	enqueued time.Time       // when the job entered the queue (the queue span's start)
+	done     chan struct{}
+	res      *result
+	err      error
 	// state arbitrates the queued job between the worker and a leader whose
 	// deadline lapses while it waits: exactly one of claim/abandon wins.
 	state atomic.Int32 // 0 = queued, 1 = claimed by a worker, 2 = abandoned by the leader
@@ -204,13 +217,27 @@ type Server struct {
 	log     *slog.Logger
 	started time.Time
 
-	inFlight  atomic.Int64 // solves currently executing
-	queued    atomic.Int64 // jobs waiting in the queue
-	byStatus  sync.Map     // int -> *atomic.Int64
-	solveLat  latencyRing  // latency of computed (non-hit) requests
-	hitLat    latencyRing  // latency of cache-hit requests
-	methodLat sync.Map     // method string -> *latencyRing of pure solve time
-	closeOnce sync.Once
+	inFlight atomic.Int64 // solves currently executing
+	queued   atomic.Int64 // jobs waiting in the queue
+
+	// The telemetry core (internal/obs). Every family below lives in reg,
+	// which /metricsz renders as Prometheus text; /statz reads the same
+	// structs. All label sets are pre-registered at construction — statuses
+	// from the fixed set the handler can emit, methods from the solver
+	// registry, stages from the span allowlist — so cardinality is bounded
+	// no matter what traffic arrives (the historical methodLat sync.Map
+	// grew a ring per observed method string instead).
+	reg         *obs.Registry
+	traces      *obs.TraceRing
+	histSolve   *obs.Histogram            // request latency, computed requests
+	histHit     *obs.Histogram            // request latency, cache hits
+	methodHist  map[string]*obs.Histogram // pure solve time per method
+	stageHist   map[string]*obs.Histogram // per-stage time from trace spans
+	status      map[int]*obs.Counter      // requests by status
+	statusOther *obs.Counter              // statuses outside the known set
+	cheResult   *obs.CheEstimator         // result-tier popularity model
+	cheMatrix   *obs.CheEstimator         // matrix-tier popularity model
+	closeOnce   sync.Once
 }
 
 // New starts a Server's worker pool and returns it. It fails on an unknown
@@ -222,14 +249,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   results,
-		prec:    cache.NewMatrixCache(cfg.PrecCacheCells),
-		jobs:    make(chan *job, cfg.QueueDepth),
-		quit:    make(chan struct{}),
-		log:     cfg.Logger,
-		started: time.Now(),
+		cfg:       cfg,
+		cache:     results,
+		prec:      cache.NewMatrixCache(cfg.PrecCacheCells),
+		jobs:      make(chan *job, cfg.QueueDepth),
+		quit:      make(chan struct{}),
+		log:       cfg.Logger,
+		started:   time.Now(),
+		traces:    obs.NewTraceRing(0, 0),
+		cheResult: obs.NewCheEstimator(),
+		cheMatrix: obs.NewCheEstimator(),
 	}
+	s.initObs()
 	if cfg.CacheDir != "" {
 		ns := CacheNamespace(cfg.EngineVersion)
 		rs, err := cache.OpenFileStore(cfg.CacheDir, ns+"/results")
@@ -259,6 +290,157 @@ func New(cfg Config) (*Server, error) {
 		go s.reaper(interval)
 	}
 	return s, nil
+}
+
+// traceStages is the span-name allowlist aggregated into the per-stage
+// histogram family. Solver-internal spans (kemeny_restart, per-pass) stay
+// trace-only: they are per-request diagnostics, not bounded stage series.
+var traceStages = []string{
+	"queue",
+	"result_lookup", "result_wait", "result_disk_read", "result_disk_write",
+	"matrix_lookup", "matrix_wait", "matrix_build", "matrix_disk_read", "matrix_disk_write",
+	"solve", "encode",
+}
+
+// knownStatuses is every HTTP status the aggregate handler can emit; each
+// gets a pre-registered counter, anything else lands in status="other".
+var knownStatuses = []int{
+	http.StatusOK, http.StatusBadRequest, http.StatusMethodNotAllowed,
+	http.StatusTooManyRequests, http.StatusInternalServerError,
+	http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+}
+
+// resultSizer approximates a cached result's resident footprint for the
+// per-tier bytes gauge — slice header plus elements, strings, and audit
+// map. An estimate is enough: the gauge exists to show relative tier
+// pressure, not to account allocations.
+func resultSizer(v any) int64 {
+	r, ok := v.(*result)
+	if !ok {
+		return 0
+	}
+	b := int64(96) + 8*int64(len(r.Ranking)) + int64(len(r.Method))
+	if r.Audit != nil {
+		b += 48
+		for name := range r.Audit.ARPs {
+			b += 48 + int64(len(name))
+		}
+	}
+	return b
+}
+
+// matrixResidentBytes prices the matrix tier's residency: cells are int32.
+func matrixResidentBytes(ms cache.MatrixStats) float64 { return float64(ms.CostUsed) * 4 }
+
+// initObs builds the metric registry: every former /statz counter plus the
+// new histogram and model families. Counters owned by the cache tiers are
+// adopted by pointer (RegisterCounter), not copied — the registry and
+// Stats() read the same atomics.
+func (s *Server) initObs() {
+	r := obs.NewRegistry()
+	s.reg = r
+
+	s.status = make(map[int]*obs.Counter, len(knownStatuses))
+	for _, code := range knownStatuses {
+		s.status[code] = r.Counter("manirank_requests_total",
+			"aggregate requests by HTTP status", obs.L("status", strconv.Itoa(code)))
+	}
+	s.statusOther = r.Counter("manirank_requests_total",
+		"aggregate requests by HTTP status", obs.L("status", "other"))
+
+	r.GaugeFunc("manirank_queue_depth", "jobs waiting in the admission queue",
+		func() float64 { return float64(s.queued.Load()) })
+	r.GaugeFunc("manirank_queue_capacity", "admission queue capacity",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	r.GaugeFunc("manirank_in_flight", "solves currently executing",
+		func() float64 { return float64(s.inFlight.Load()) })
+	r.GaugeFunc("manirank_workers", "solver pool width",
+		func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("manirank_uptime_seconds", "seconds since the server started",
+		func() float64 { return time.Since(s.started).Seconds() })
+
+	// Result tier: adopt the cache-owned counters under tier="result".
+	rc := s.cache.Counters()
+	res := obs.L("tier", "result")
+	r.RegisterCounter("manirank_cache_hits_total", "cache lookups served from memory per tier", rc.Hits, res)
+	r.RegisterCounter("manirank_cache_misses_total", "cache lookups that missed memory per tier", rc.Misses, res)
+	r.RegisterCounter("manirank_cache_coalesced_total", "lookups that joined an in-flight computation per tier", rc.Coalesced, res)
+	r.RegisterCounter("manirank_cache_evictions_total", "entries dropped by capacity pressure per tier", rc.Evictions, res)
+	r.RegisterCounter("manirank_cache_expirations_total", "entries dropped by TTL expiry", rc.Expirations, res)
+	r.RegisterCounter("manirank_cache_disk_hits_total", "lookups served by the persistent tier per tier", rc.DiskHits, res)
+	r.RegisterCounter("manirank_cache_disk_puts_total", "successful persistent write-throughs per tier", rc.DiskPuts, res)
+	r.RegisterCounter("manirank_cache_disk_errors_total", "persistent-tier failures absorbed per tier", rc.DiskErrors, res)
+	s.cache.SetSizer(resultSizer)
+
+	// Matrix tier: same families under tier="matrix", plus its build axis.
+	mc := s.prec.Counters()
+	mat := obs.L("tier", "matrix")
+	r.RegisterCounter("manirank_cache_hits_total", "cache lookups served from memory per tier", mc.Hits, mat)
+	r.RegisterCounter("manirank_cache_misses_total", "cache lookups that missed memory per tier", mc.Misses, mat)
+	r.RegisterCounter("manirank_cache_coalesced_total", "lookups that joined an in-flight computation per tier", mc.Coalesced, mat)
+	r.RegisterCounter("manirank_cache_evictions_total", "entries dropped by capacity pressure per tier", mc.Evictions, mat)
+	r.RegisterCounter("manirank_cache_disk_hits_total", "lookups served by the persistent tier per tier", mc.DiskHits, mat)
+	r.RegisterCounter("manirank_cache_disk_puts_total", "successful persistent write-throughs per tier", mc.DiskPuts, mat)
+	r.RegisterCounter("manirank_cache_disk_errors_total", "persistent-tier failures absorbed per tier", mc.DiskErrors, mat)
+	r.RegisterCounter("manirank_matrix_builds_total", "precedence-matrix constructions paid", mc.Builds)
+	r.RegisterCounter("manirank_matrix_rejected_total", "built matrices too large to admit", mc.Rejected)
+	r.CounterFunc("manirank_matrix_builds_skipped_total",
+		"matrix requests answered without running the builder", mc.BuildsSkipped)
+
+	r.GaugeFunc("manirank_cache_entries", "resident entries per tier",
+		func() float64 { return float64(s.cache.Stats().Entries) }, res)
+	r.GaugeFunc("manirank_cache_entries", "resident entries per tier",
+		func() float64 { return float64(s.prec.Stats().Entries) }, mat)
+	r.GaugeFunc("manirank_cache_resident_bytes", "approximate resident bytes per tier",
+		func() float64 { return float64(s.cache.Bytes()) }, res)
+	r.GaugeFunc("manirank_cache_resident_bytes", "approximate resident bytes per tier",
+		func() float64 { return matrixResidentBytes(s.prec.Stats()) }, mat)
+
+	// Measured vs Che-predicted hit rate per tier, and their drift — the
+	// first slice of ROADMAP item 3's model-driven sizing: sustained drift
+	// means the popularity model (or the capacity assumption) is wrong.
+	r.GaugeFunc("manirank_cache_hit_rate", "measured memory hit rate per tier",
+		func() float64 { return s.cache.Stats().HitRate() }, res)
+	r.GaugeFunc("manirank_cache_hit_rate", "measured memory hit rate per tier",
+		func() float64 { return s.prec.Stats().HitRate() }, mat)
+	r.GaugeFunc("manirank_cache_hit_rate_predicted", "Che-approximation hit rate per tier",
+		func() float64 { return s.cheResult.Predict(s.cfg.CacheSize) }, res)
+	r.GaugeFunc("manirank_cache_hit_rate_predicted", "Che-approximation hit rate per tier",
+		s.predictMatrixHitRate, mat)
+	r.GaugeFunc("manirank_cache_hit_rate_drift", "measured minus predicted hit rate per tier",
+		func() float64 { return s.cache.Stats().HitRate() - s.cheResult.Predict(s.cfg.CacheSize) }, res)
+	r.GaugeFunc("manirank_cache_hit_rate_drift", "measured minus predicted hit rate per tier",
+		func() float64 { return s.prec.Stats().HitRate() - s.predictMatrixHitRate() }, mat)
+
+	buckets := obs.LatencyBuckets()
+	s.histSolve = r.Histogram("manirank_request_seconds",
+		"aggregate request latency by outcome", buckets, obs.L("outcome", "solve"))
+	s.histHit = r.Histogram("manirank_request_seconds",
+		"aggregate request latency by outcome", buckets, obs.L("outcome", "hit"))
+	s.methodHist = make(map[string]*obs.Histogram)
+	for _, m := range manirank.MethodNames() {
+		s.methodHist[m] = r.Histogram("manirank_solve_seconds",
+			"pure solver time per method (queue and cache layers excluded)",
+			buckets, obs.L("method", m))
+	}
+	s.stageHist = make(map[string]*obs.Histogram, len(traceStages))
+	for _, stage := range traceStages {
+		s.stageHist[stage] = r.Histogram("manirank_stage_seconds",
+			"per-stage request time from trace spans", buckets, obs.L("stage", stage))
+	}
+}
+
+// predictMatrixHitRate runs the Che estimator for the matrix tier. The
+// tier is cost-bounded, not entry-bounded, so its entry capacity is
+// estimated as budget over the mean resident entry cost; before anything
+// is resident there is no estimate and the prediction is 0.
+func (s *Server) predictMatrixHitRate() float64 {
+	ms := s.prec.Stats()
+	if ms.Entries == 0 || ms.CostUsed <= 0 {
+		return 0
+	}
+	capEntries := int(ms.CostBudget / (ms.CostUsed / int64(ms.Entries)))
+	return s.cheMatrix.Predict(capEntries)
 }
 
 // reaper periodically sweeps expired entries out of the result cache so a
@@ -318,6 +500,7 @@ func (s *Server) worker() {
 			return
 		case j := <-s.jobs:
 			s.queued.Add(-1)
+			obs.FromContext(j.ctx).AddSpan("queue", j.enqueued, time.Now())
 			if !j.claim() {
 				// The leader already answered 504 for it; nobody is
 				// listening, so don't waste a solver slot.
@@ -333,24 +516,19 @@ func (s *Server) worker() {
 			t0 := time.Now()
 			j.res, j.err = s.solve(j.ctx, j.pb)
 			if j.err == nil {
-				s.methodRing(j.pb.method.String()).add(time.Since(t0))
+				// Solve time is measured worker-side — queueing, coalescing,
+				// and cache lookups excluded — so the per-method family
+				// separates solver cost from serving overhead. The method
+				// set is pre-registered from the solver registry
+				// (buildProblem validated the name), so the lookup is total.
+				if h, ok := s.methodHist[j.pb.method.String()]; ok {
+					observeSeconds(h, time.Since(t0))
+				}
 			}
 			s.inFlight.Add(-1)
 			close(j.done)
 		}
 	}
-}
-
-// methodRing returns (creating on first sight) the per-method solve-latency
-// ring. Solve time is measured worker-side — queueing, coalescing, and cache
-// lookups excluded — so /statz separates solver cost per method from serving
-// overhead.
-func (s *Server) methodRing(method string) *latencyRing {
-	if r, ok := s.methodLat.Load(method); ok {
-		return r.(*latencyRing)
-	}
-	r, _ := s.methodLat.LoadOrStore(method, &latencyRing{})
-	return r.(*latencyRing)
 }
 
 // kemenyOptions lowers the request's solver knobs onto the engine options.
@@ -375,6 +553,9 @@ func (s *Server) kemenyOptions(o SolverOptions) aggregate.KemenyOptions {
 // goroutines sound. ctx bounds only a follower's wait on another worker's
 // flight (which may include disk I/O); the build itself runs to completion.
 func (s *Server) precedence(ctx context.Context, pb *problem) (*ranking.Precedence, error) {
+	// Feed the popularity model the stream this tier actually sees: profile
+	// sub-digests of requests that missed the result tier.
+	s.cheMatrix.Observe(pb.profDigest)
 	v, _, _, err := s.prec.Do(ctx, pb.profDigest, func() (any, int64, error) {
 		w, err := ranking.NewPrecedence(pb.profile)
 		if err != nil {
@@ -447,11 +628,13 @@ func (s *Server) deadline(req *AggregateRequest) time.Duration {
 // admit queues pb for the worker pool and waits for its result. The compute
 // context is detached from the requester: coalesced followers must not lose
 // the computation because the leader's connection died, and the deadline
-// bounds it regardless.
-func (s *Server) admit(pb *problem, budget time.Duration) (*result, error) {
+// bounds it regardless. The leader's trace is re-attached to the detached
+// context explicitly so the worker's queue/solve spans land on it.
+func (s *Server) admit(tr *obs.Trace, pb *problem, budget time.Duration) (*result, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
-	j := &job{pb: pb, ctx: ctx, done: make(chan struct{})}
+	ctx = obs.WithTrace(ctx, tr)
+	j := &job{pb: pb, ctx: ctx, enqueued: time.Now(), done: make(chan struct{})}
 	// Count the job before the send: a worker may pop it (and decrement)
 	// the instant the send lands, and the depth gauge must never go
 	// negative. The rejection paths undo the increment.
@@ -492,12 +675,15 @@ func (s *Server) admit(pb *problem, budget time.Duration) (*result, error) {
 }
 
 // Handler returns the service's HTTP mux: POST /v1/aggregate, GET /healthz,
-// GET /statz.
+// GET /statz (JSON), GET /metricsz (Prometheus text), GET /tracez (recent
+// and slowest request traces, JSON).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/aggregate", s.handleAggregate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/metricsz", s.handleMetricsz)
+	mux.HandleFunc("/tracez", s.handleTracez)
 	return mux
 }
 
@@ -523,11 +709,18 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	digest := pb.digest
 	budget := s.deadline(&req)
 
+	// The request trace starts once the problem is valid (malformed bodies
+	// have no stages worth attributing) and rides every context from here:
+	// the follower wait, both cache tiers, the queue, and the solvers.
+	tr := obs.NewTrace(pb.method.String(), digest[:12])
+	s.cheResult.Observe(digest)
+
 	// Followers wait at most their own budget for the leader's flight.
 	waitCtx, cancelWait := context.WithTimeout(r.Context(), budget)
 	defer cancelWait()
+	waitCtx = obs.WithTrace(waitCtx, tr)
 	v, hit, shared, err := s.cache.Do(waitCtx, digest, func() (any, bool, error) {
-		res, err := s.admit(pb, budget)
+		res, err := s.admit(tr, pb, budget)
 		if err != nil {
 			return nil, false, err
 		}
@@ -546,14 +739,15 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusServiceUnavailable
 		}
 		s.writeError(w, r, status, err, start)
+		s.finishTrace(tr)
 		return
 	}
 	res := v.(*result)
 	elapsed := time.Since(start)
 	if hit {
-		s.hitLat.add(elapsed)
+		observeSeconds(s.histHit, elapsed)
 	} else {
-		s.solveLat.add(elapsed)
+		observeSeconds(s.histSolve, elapsed)
 	}
 	resp := &AggregateResponse{
 		result:    *res,
@@ -575,7 +769,48 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		"elapsed_ms", resp.ElapsedMS,
 		"queue_depth", s.queued.Load(),
 	)
+	endEncode := tr.StartSpan("encode")
 	writeJSON(w, http.StatusOK, resp)
+	endEncode()
+	s.finishTrace(tr)
+}
+
+// finishTrace stamps a request trace's wall time, feeds its spans into the
+// per-stage histograms, retains it in the /tracez ring, and — past the
+// Config.TraceSlow threshold — logs the aggregated span breakdown.
+func (s *Server) finishTrace(tr *obs.Trace) {
+	wall := tr.Finish()
+	spans := tr.Spans()
+	for _, sp := range spans {
+		if h, ok := s.stageHist[sp.Name]; ok {
+			h.Observe(sp.Duration.Seconds())
+		}
+	}
+	s.traces.Add(tr)
+	if s.cfg.TraceSlow <= 0 || wall < s.cfg.TraceSlow {
+		return
+	}
+	// Aggregate span durations per stage so the log line stays one line no
+	// matter how many solver restarts the trace recorded.
+	totals := make(map[string]time.Duration)
+	order := make([]string, 0, 8)
+	for _, sp := range spans {
+		if _, seen := totals[sp.Name]; !seen {
+			order = append(order, sp.Name)
+		}
+		totals[sp.Name] += sp.Duration
+	}
+	breakdown := make([]string, len(order))
+	for i, name := range order {
+		breakdown[i] = fmt.Sprintf("%s=%.2fms", name, float64(totals[name])/float64(time.Millisecond))
+	}
+	s.log.Warn("slow request",
+		"trace_id", tr.ID,
+		"method", tr.Name,
+		"digest", tr.Detail,
+		"wall_ms", float64(wall)/float64(time.Millisecond),
+		"spans", strings.Join(breakdown, " "),
+	)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -609,7 +844,10 @@ type QueueStatz struct {
 }
 
 // StatzSnapshot assembles the /statz payload (exported for the load
-// generator and tests).
+// generator and tests). Every number is read from the same obs structs
+// the registry exports at /metricsz; only the rendering differs. Status
+// and method entries appear once they have traffic, preserving the
+// pre-registry JSON shape.
 func (s *Server) StatzSnapshot() Statz {
 	cs := s.cache.Stats()
 	ms := s.prec.Stats()
@@ -626,18 +864,23 @@ func (s *Server) StatzSnapshot() Statz {
 		Matrix:          ms,
 		MatrixHitRate:   ms.HitRate(),
 		Requests:        map[string]uint64{},
-		LatencySolve:    s.solveLat.snapshot(),
-		LatencyHit:      s.hitLat.snapshot(),
+		LatencySolve:    latencySnapshot(s.histSolve),
+		LatencyHit:      latencySnapshot(s.histHit),
 		LatencyByMethod: map[string]LatencySnapshot{},
 	}
-	s.byStatus.Range(func(k, v any) bool {
-		st.Requests[strconv.Itoa(k.(int))] = uint64(v.(*atomic.Int64).Load())
-		return true
-	})
-	s.methodLat.Range(func(k, v any) bool {
-		st.LatencyByMethod[k.(string)] = v.(*latencyRing).snapshot()
-		return true
-	})
+	for code, c := range s.status {
+		if v := c.Value(); v > 0 {
+			st.Requests[strconv.Itoa(code)] = v
+		}
+	}
+	if v := s.statusOther.Value(); v > 0 {
+		st.Requests["other"] = v
+	}
+	for m, h := range s.methodHist {
+		if h.Count() > 0 {
+			st.LatencyByMethod[m] = latencySnapshot(h)
+		}
+	}
 	return st
 }
 
@@ -645,9 +888,34 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatzSnapshot())
 }
 
+// handleMetricsz serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// Tracez is the /tracez payload: the most recent traces (newest first)
+// and the slowest retained ones (descending wall time).
+type Tracez struct {
+	// Recent is the newest-first recent-trace ring.
+	Recent []obs.TraceSnapshot `json:"recent"`
+	// Slowest is the slowest-N set, descending by wall time.
+	Slowest []obs.TraceSnapshot `json:"slowest"`
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	recent, slowest := s.traces.Snapshot()
+	writeJSON(w, http.StatusOK, Tracez{Recent: recent, Slowest: slowest})
+}
+
+// countStatus bumps the pre-registered counter for status (or the "other"
+// series for anything outside the handler's known set).
 func (s *Server) countStatus(status int) {
-	v, _ := s.byStatus.LoadOrStore(status, new(atomic.Int64))
-	v.(*atomic.Int64).Add(1)
+	if c, ok := s.status[status]; ok {
+		c.Inc()
+		return
+	}
+	s.statusOther.Inc()
 }
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error, start time.Time) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"manirank/internal/mallows"
+	"manirank/internal/obs"
 	"manirank/internal/ranking"
 )
 
@@ -350,15 +351,24 @@ func TestHealthzAndStatz(t *testing.T) {
 	}
 }
 
-// TestStatzLatencyPercentiles sanity-checks the ring math directly.
+// TestStatzLatencyPercentiles sanity-checks the histogram-backed snapshot
+// math directly: 1..100ms uniform, quantiles within one log bucket (2x) of
+// truth, max exact, and — unlike the historical pre-fill ring skew — an
+// empty histogram reports zeros rather than quantiles over empty slots.
 func TestStatzLatencyPercentiles(t *testing.T) {
-	var r latencyRing
-	for i := 1; i <= 100; i++ {
-		r.add(time.Duration(i) * time.Millisecond)
+	h := obs.NewHistogram(obs.LatencyBuckets())
+	if snap := latencySnapshot(h); snap.Count != 0 || snap.P50 != 0 || snap.Max != 0 {
+		t.Fatalf("empty snapshot %+v, want zeros", snap)
 	}
-	snap := r.snapshot()
-	if snap.Count != 100 || snap.P50 < 49 || snap.P50 > 51 || snap.P99 < 98 || snap.Max != 100 {
+	for i := 1; i <= 100; i++ {
+		observeSeconds(h, time.Duration(i)*time.Millisecond)
+	}
+	snap := latencySnapshot(h)
+	if snap.Count != 100 || snap.P50 < 25 || snap.P50 > 100 || snap.P99 < 50 || snap.P99 > 200 || snap.Max != 100 {
 		t.Fatalf("snapshot %+v out of range", snap)
+	}
+	if snap.P50 > snap.P99 || snap.P99 > snap.Max {
+		t.Fatalf("snapshot %+v not monotone", snap)
 	}
 }
 

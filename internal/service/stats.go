@@ -1,60 +1,42 @@
 package service
 
 import (
-	"sort"
-	"sync"
 	"time"
+
+	"manirank/internal/obs"
 )
 
-// ringSize is the latency window: percentiles are computed over the most
-// recent ringSize observations, a fixed-memory sliding window that tracks
-// current behaviour instead of lifetime averages.
-const ringSize = 1024
-
-// latencyRing is a fixed-size ring of request latencies with on-demand
-// percentile queries.
-type latencyRing struct {
-	mu    sync.Mutex
-	buf   [ringSize]float64 // milliseconds
-	next  int
-	count uint64
-}
-
-func (r *latencyRing) add(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	r.mu.Lock()
-	r.buf[r.next] = ms
-	r.next = (r.next + 1) % ringSize
-	r.count++
-	r.mu.Unlock()
-}
-
-// LatencySnapshot summarises one ring for /statz.
+// LatencySnapshot summarises one latency histogram for /statz, in
+// milliseconds. Until PR 8 these numbers came from fixed 1024-slot rings
+// whose percentiles scanned zero-valued unfilled slots (skewing p50 low
+// before the ring filled); they now come from obs.Histogram, which has no
+// window to fill — an empty histogram reports count 0 and zeros — and
+// whose quantiles interpolate log-spaced buckets (at most one bucket,
+// i.e. 2x, of error). The JSON shape is unchanged.
 type LatencySnapshot struct {
-	Count uint64  `json:"count"`
-	P50   float64 `json:"p50_ms"`
-	P99   float64 `json:"p99_ms"`
-	Max   float64 `json:"max_ms"`
+	// Count is the number of observations.
+	Count uint64 `json:"count"`
+	// P50 is the estimated median latency.
+	P50 float64 `json:"p50_ms"`
+	// P99 is the estimated 99th-percentile latency.
+	P99 float64 `json:"p99_ms"`
+	// Max is the largest latency observed.
+	Max float64 `json:"max_ms"`
 }
 
-func (r *latencyRing) snapshot() LatencySnapshot {
-	r.mu.Lock()
-	n := int(r.count)
-	if n > ringSize {
-		n = ringSize
+// latencySnapshot renders a histogram (observed in seconds) as the /statz
+// millisecond summary.
+func latencySnapshot(h *obs.Histogram) LatencySnapshot {
+	const ms = 1000
+	return LatencySnapshot{
+		Count: h.Count(),
+		P50:   h.Quantile(0.5) * ms,
+		P99:   h.Quantile(0.99) * ms,
+		Max:   h.Max() * ms,
 	}
-	window := make([]float64, n)
-	copy(window, r.buf[:n])
-	count := r.count
-	r.mu.Unlock()
-	snap := LatencySnapshot{Count: count}
-	if n == 0 {
-		return snap
-	}
-	sort.Float64s(window)
-	// Nearest-rank percentiles over the window.
-	snap.P50 = window[(n-1)*50/100]
-	snap.P99 = window[(n-1)*99/100]
-	snap.Max = window[n-1]
-	return snap
+}
+
+// observeSeconds records a duration on h in seconds (the exposition unit).
+func observeSeconds(h *obs.Histogram, d time.Duration) {
+	h.Observe(d.Seconds())
 }

@@ -85,6 +85,20 @@ echo "$STATZ" | grep -q '"hits":1' || { echo "statz did not record the result-ca
 echo "$STATZ" | grep -q '"builds":1' || { echo "statz did not show exactly one matrix build" >&2; exit 1; }
 echo "$STATZ" | grep -q '"builds_skipped":1' || { echo "statz did not show the skipped matrix build" >&2; exit 1; }
 
+# --- /metricsz: Prometheus text over the same registry as /statz ---
+METRICS="$(curl -sf "$BASE/metricsz")"
+# Every line must be exposition text: a comment, or `name{labels} value`.
+BAD="$(echo "$METRICS" | grep -Ev '^[a-z_]+(\{[^}]*\})? [0-9.e+-]+$|^#' || true)"
+[ -z "$BAD" ] || { echo "metricsz lines fail the exposition grammar:" >&2; echo "$BAD" >&2; exit 1; }
+HITS_BEFORE="$(echo "$METRICS" | grep -F 'manirank_cache_hits_total{tier="result"}' | awk '{print $2}')"
+[ -n "$HITS_BEFORE" ] || { echo "metricsz is missing the result-tier hit counter" >&2; exit 1; }
+# Replaying the cached request must move the live counter between scrapes.
+curl -sf -X POST "$BASE/v1/aggregate" -H 'Content-Type: application/json' -d "$REQ" >/dev/null
+HITS_AFTER="$(curl -sf "$BASE/metricsz" | grep -F 'manirank_cache_hits_total{tier="result"}' | awk '{print $2}')"
+awk -v a="$HITS_BEFORE" -v b="$HITS_AFTER" 'BEGIN { exit !(b > a) }' \
+  || { echo "manirank_cache_hits_total did not increase across a repeated request ($HITS_BEFORE -> $HITS_AFTER)" >&2; exit 1; }
+echo "metricsz smoke ok"
+
 echo "serve smoke ok"
 
 # --- Persistence: warm restart over -cache-dir ---
