@@ -27,6 +27,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for independent experiment cells (0 = all CPUs, 1 = sequential; results are identical either way, but per-cell runtimes contend — time with 1; in-cell solver restarts stay sequential to keep timed columns honest)")
 	serveBench := flag.Bool("serve-bench", false, "benchmark the manirankd serving stack instead of an experiment: replay a Zipf-skewed Mallows workload against an in-process server and print a JSON report (BENCH_<n>.json serving section)")
 	serveRestart := flag.Bool("serve-restart", false, "benchmark warm-restart recovery instead of an experiment: replay one workload against a cold server, a restarted server over the same -cache-dir, and a cold-restart control (BENCH_7.json restart section)")
+	serveChurn := flag.Bool("serve-churn", false, "benchmark streaming sessions instead of an experiment: replay identically seeded edit streams through /v1/session (incremental patches + warm starts) and /v1/aggregate (full rebuilds) across mutation fractions (BENCH_9.json churn section)")
 	serveRequests := flag.Int("serve-requests", 600, "serve-bench: total requests per skew setting")
 	serveClients := flag.Int("serve-clients", 8, "serve-bench: concurrent closed-loop clients")
 	serveProfiles := flag.Int("serve-profiles", 50, "serve-bench: distinct request bodies (working-set size)")
@@ -46,6 +47,13 @@ func main() {
 	}
 	if *serveRestart {
 		if err := runRestartBench(*seed, *serveRequests, *serveClients, *serveProfiles, *serveCache); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveChurn {
+		if err := runChurnBench(*seed, *serveRequests, *serveClients, *serveCache); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -144,6 +144,96 @@ func serveBenchRunDir(report serveBenchReport, cell serveCell, seed int64, reque
 	return res, nil
 }
 
+// churnBenchReport is the BENCH_9.json "churn" section: the same seeded
+// edit stream replayed against /v1/session (incremental matrix patches +
+// warm-started solves) and against /v1/aggregate (full O(n²·m) rebuild and
+// a cold solve per edit), across mutation fractions.
+type churnBenchReport struct {
+	Candidates int              `json:"candidates"`
+	Rankers    int              `json:"rankers"`
+	Clients    int              `json:"clients"`
+	CacheSize  int              `json:"cache_size"`
+	Workers    int              `json:"workers"`
+	Runs       []loadgen.Result `json:"runs"`
+}
+
+// churnFractions is the swept mutation mix: mostly re-solves (caches and
+// coalescing should dominate either mode), balanced, and mutate-heavy —
+// the regime where the incremental path's O(n²) patch + warm start must
+// beat the stateless rebuild for the session endpoint to earn its keep.
+var churnFractions = []float64{0.1, 0.5, 0.9}
+
+// runChurnBench measures the streaming-session path against its stateless
+// control (ISSUE 9 / BENCH_9). Both arms replay identically seeded
+// per-client edit streams over the default fair-kemeny method, so within a
+// fraction the only variable is how the server absorbs the edits.
+func runChurnBench(seed int64, requests, clients, cacheSize int) error {
+	report := churnBenchReport{
+		Candidates: 60,
+		Rankers:    40,
+		Clients:    clients,
+		CacheSize:  cacheSize,
+		Workers:    runtime.GOMAXPROCS(0),
+	}
+	byCell := map[string]loadgen.Result{}
+	for _, frac := range churnFractions {
+		for _, mode := range []string{"stateless", "session"} {
+			res, err := churnBenchRun(report, mode, frac, seed, requests)
+			if err != nil {
+				return fmt.Errorf("churn-bench mode=%s churn=%.1f: %w", mode, frac, err)
+			}
+			if res.Errors > 0 {
+				return fmt.Errorf("churn-bench mode=%s churn=%.1f: %d request errors", mode, frac, res.Errors)
+			}
+			if mode == "session" && res.WarmStarted == 0 {
+				return fmt.Errorf("churn-bench mode=session churn=%.1f: no solve warm-started — the session path is not seeding", frac)
+			}
+			report.Runs = append(report.Runs, res)
+			byCell[fmt.Sprintf("%s/%.1f", mode, frac)] = res
+			fmt.Fprintf(os.Stderr, "churn-bench mode=%s churn=%.1f: %.1f req/s, p50 %.1fms, p99 %.1fms, %d mutations, %d warm-started, hit rate %.2f, matrix builds %d (%d errors, %d rejected)\n",
+				mode, frac, res.Throughput, res.P50LatencyMS, res.P99LatencyMS, res.Mutations, res.WarmStarted, res.HitRate, res.MatrixBuilds, res.Errors, res.Rejected)
+		}
+		sess, ctrl := byCell[fmt.Sprintf("session/%.1f", frac)], byCell[fmt.Sprintf("stateless/%.1f", frac)]
+		if ctrl.P50LatencyMS > 0 {
+			fmt.Fprintf(os.Stderr, "churn-bench churn=%.1f: session p50 %.1fms vs stateless %.1fms (%.2fx)\n",
+				frac, sess.P50LatencyMS, ctrl.P50LatencyMS, ctrl.P50LatencyMS/sess.P50LatencyMS)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// churnBenchRun measures one (mode, fraction) cell against a FRESH server,
+// so neither arm inherits the other's warmed caches.
+func churnBenchRun(report churnBenchReport, mode string, frac float64, seed int64, requests int) (loadgen.Result, error) {
+	srv, err := service.New(service.Config{
+		CacheSize: report.CacheSize,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return loadgen.Result{}, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return loadgen.Result{}, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	return loadgen.RunChurn(loadgen.Config{
+		URL:           "http://" + ln.Addr().String(),
+		Clients:       report.Clients,
+		Requests:      requests,
+		Candidates:    report.Candidates,
+		Rankers:       report.Rankers,
+		Mode:          mode,
+		ChurnFraction: frac,
+		Seed:          seed,
+	})
+}
+
 // restartBenchReport is the BENCH_7.json "restart" section: the same
 // Zipf-skewed workload replayed against three server lifecycles, so the
 // delta between phases is exactly what the persistent tier buys.

@@ -12,6 +12,13 @@
 // restarted daemon serves its previous working set warm; bump
 // -cache-engine-version to invalidate everything persisted.
 //
+// Streaming profiles (DESIGN.md §12): POST /v1/session pins an evolving
+// profile server-side; POST /v1/session/{id} with {"op":"add"|"remove"|
+// "update"|"solve", ...} patches the session's precedence matrix in O(n²)
+// instead of re-paying the full rebuild and re-solves warm-started from the
+// previous consensus. GET inspects a session, DELETE ends it; -max-sessions
+// bounds how many can be live at once.
+//
 // Quickstart:
 //
 //	go run ./cmd/manirankd -addr :8080 &
@@ -57,6 +64,7 @@ func main() {
 	precCacheMiB := flag.Int("prec-cache-mib", 16, "precedence-matrix cache budget in MiB (4 bytes per matrix cell; 0 disables)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request compute deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper bound on client-requested deadlines")
+	maxSessions := flag.Int("max-sessions", 256, "bound on live streaming sessions (negative disables /v1/session)")
 	traceSlowMS := flag.Int("trace-slow-ms", 0, "log any request at least this slow with its span breakdown (0 disables; traces land in /tracez regardless)")
 	logLevel := flag.String("log-level", "info", "debug|info|warn|error")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (e.g. localhost:6060); empty disables")
@@ -85,6 +93,7 @@ func main() {
 		PrecCacheCells:  precCells,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
+		MaxSessions:     *maxSessions,
 		TraceSlow:       time.Duration(*traceSlowMS) * time.Millisecond,
 		Logger:          logger,
 	})

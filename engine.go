@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"manirank/internal/fairness"
@@ -19,12 +20,27 @@ import (
 // of k — the library-level form of the serving layer's shared precedence
 // tier (DESIGN.md §7–§8).
 //
-// An Engine is immutable after construction and safe for concurrent Solve
-// calls from multiple goroutines.
+// An Engine is safe for concurrent Solve calls from multiple goroutines.
+// The streaming mutation methods (AddRanking, RemoveRanking, UpdateRanking —
+// see stream.go) patch the matrix in O(n²) under a write lock that excludes
+// in-flight Solves, so a solve never observes a half-applied mutation; an
+// engine that is never mutated behaves exactly like the historical
+// immutable one.
 type Engine struct {
+	// mu arbitrates the streaming mutations against Solve: Solve holds the
+	// read side for its whole run, mutations take the write side.
+	mu  sync.RWMutex
 	p   Profile     // nil when constructed from a matrix only (NewEngineW)
 	w   *Precedence // always non-nil
 	tab *Table      // nil when no candidate table was supplied
+	// owned reports that p and w are private to this engine. Constructors
+	// leave it false — NewEngine aliases the caller's profile slice and
+	// EngineCache.Engine shares a cached matrix — and the first mutation
+	// clones both (copy-on-write) so neither the caller's profile nor a
+	// cache-resident matrix is ever corrupted.
+	owned bool
+	// version counts applied mutations (see Version).
+	version uint64
 }
 
 // engineConfig collects EngineOption state.
@@ -113,11 +129,30 @@ func (e *Engine) N() int { return e.w.N() }
 
 // Rankers returns the number of base rankings the precedence matrix
 // aggregates.
-func (e *Engine) Rankers() int { return e.w.Rankings() }
+func (e *Engine) Rankers() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.w.Rankings()
+}
 
-// Precedence returns the engine's shared precedence matrix. The matrix is
-// read-only after construction; callers must not mutate it.
-func (e *Engine) Precedence() *Precedence { return e.w }
+// Precedence returns the engine's shared precedence matrix. Callers must
+// not mutate it, and on an engine that receives streaming mutations the
+// pointer may be stale the moment it is returned — snapshot it with
+// PrecedenceSnapshot when the matrix must outlive concurrent mutations.
+func (e *Engine) Precedence() *Precedence {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.w
+}
+
+// PrecedenceSnapshot returns a deep copy of the engine's precedence matrix,
+// taken atomically with respect to the streaming mutations — the handoff a
+// cache tier needs before admitting a mutable engine's matrix.
+func (e *Engine) PrecedenceSnapshot() *Precedence {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.w.Clone()
+}
 
 // Table returns the candidate table the engine audits against, or nil.
 func (e *Engine) Table() *Table { return e.tab }
@@ -177,6 +212,22 @@ func WithMaxNodes(n int64) SolveOption {
 // bitwise identical for every width.
 func WithSolverWorkers(n int) SolveOption {
 	return func(c *solveConfig) { c.kemeny.Heuristic.Workers = n }
+}
+
+// WithWarmStart seeds the Kemeny searches from r — typically the consensus
+// of the previous Solve — instead of a cold Borda seed. After a streaming
+// mutation (AddRanking / RemoveRanking / UpdateRanking) the previous
+// consensus is one ranking away from the new optimum, so the warm descent
+// converges in far fewer passes; for the fair methods a still-feasible warm
+// ranking additionally replaces the whole unconstrained-incumbent phase
+// (fairness depends only on the ranking and attributes, never the profile,
+// so mutations cannot invalidate feasibility). The ranking is cloned before
+// use. Warm results are deterministic per (input, r, options) and bitwise
+// identical for every WithSolverWorkers width, but not necessarily equal to
+// a cold solve — the searches explore from different local optima. A nil or
+// wrong-length r is ignored (cold solve).
+func WithWarmStart(r Ranking) SolveOption {
+	return func(c *solveConfig) { c.kemeny.Heuristic.Warm = r }
 }
 
 // Result is the complete outcome of one Engine.Solve: the consensus ranking
@@ -244,6 +295,12 @@ func (e *Engine) Solve(ctx context.Context, m Method, targets []Target, opts ...
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// The read lock spans the solve AND the bookkeeping below: a streaming
+	// mutation can neither flip the matrix mid-search nor between the search
+	// and the PD-loss/audit scans, so everything in one Result describes one
+	// consistent profile state.
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	start := time.Now()
 	endSolve := obs.StartSpan(ctx, "solve")
 	r, partial, err := ent.solve(ctx, e, targets, cfg.kemeny)

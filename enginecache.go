@@ -54,7 +54,10 @@ type EngineCacheStats struct {
 // and with AttachDir the matrices persist across process restarts.
 //
 // An EngineCache is safe for concurrent use. The Engines it returns share
-// cached matrices; they are immutable and concurrency-safe as always.
+// cached matrices; streaming mutations (Engine.AddRanking and friends)
+// copy-on-write, so a mutated Engine forks its matrix and never corrupts
+// the cache-resident one. Put re-admits a mutated Engine's state under its
+// current profile digest, making the incremental matrix reusable.
 type EngineCache struct {
 	mc    *cache.MatrixCache
 	store *cache.FileStore
@@ -132,6 +135,29 @@ func (c *EngineCache) Engine(ctx context.Context, p Profile, opts ...EngineOptio
 	// The profile rides along (unlike NewEngineW), so profile-consuming
 	// methods stay solvable on a cache hit.
 	return &Engine{p: p, w: w, tab: cfg.tab}, nil
+}
+
+// Put admits e's current precedence matrix under the digest of e's CURRENT
+// profile — the post-mutation state, never the profile the engine was
+// constructed over. That keying is what makes streaming mutations safe to
+// persist: an engine that drifted from its construction profile files its
+// matrix under the drifted profile's digest, so Engine() over the original
+// profile still restores the original matrix, while Engine() over the
+// mutated profile skips the rebuild (this process or, with AttachDir, the
+// next one). The admitted matrix is a snapshot; further mutations of e do
+// not affect it. Engines without a profile (NewEngineW) are ignored.
+func (c *EngineCache) Put(ctx context.Context, e *Engine) {
+	// One consistent (profile, matrix) pair: a mutation landing between two
+	// separate snapshots would file the matrix under the wrong digest.
+	e.mu.RLock()
+	if e.p == nil {
+		e.mu.RUnlock()
+		return
+	}
+	key := e.p.Digest(engineCacheVersion)
+	w := e.w.Clone()
+	e.mu.RUnlock()
+	c.mc.Put(ctx, key, w, w.Cells())
 }
 
 // Flush re-persists every matrix held in memory to the attached directory

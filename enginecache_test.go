@@ -132,3 +132,68 @@ func TestEngineCachePersistsAcrossInstances(t *testing.T) {
 		t.Fatalf("post-bump stats = %+v, want a fresh build", s)
 	}
 }
+
+// TestEngineCachePutKeysByMutatedProfile is the staleness regression for
+// streaming sessions: a mutated engine re-admitted with Put must file its
+// matrix under the POST-mutation profile digest. After a restart, asking for
+// the mutated profile restores the patched matrix from disk, and asking for
+// the original profile can never be served the pre-edit state's matrix under
+// the wrong key (nor vice versa).
+func TestEngineCachePutKeysByMutatedProfile(t *testing.T) {
+	dir := t.TempDir()
+	orig := cacheTestProfile()
+
+	ec1 := manirank.NewEngineCache(1 << 20)
+	if err := ec1.AttachDir(dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ec1.Engine(context.Background(), orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Session edit: replace ranker 0, then re-admit the patched matrix.
+	if err := e.UpdateRanking(0, manirank.Ranking{4, 2, 0, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ec1.Put(context.Background(), e)
+	mutated := e.Profile()
+	if reflect.DeepEqual(mutated, orig) {
+		t.Fatal("test bug: mutation was a no-op")
+	}
+	if s := ec1.Stats(); s.DiskPuts != 2 {
+		t.Fatalf("stats = %+v, want the original build AND the Put written through", s)
+	}
+	if err := ec1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart. The mutated profile must warm-restore the patched matrix...
+	ec2 := manirank.NewEngineCache(1 << 20)
+	if err := ec2.AttachDir(dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ec2.Engine(context.Background(), mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ec2.Stats(); s.Builds != 0 || s.DiskHits != 1 {
+		t.Fatalf("restart stats = %+v, want a disk restore of the patched matrix", s)
+	}
+	fresh, err := manirank.NewEngine(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMatrixEqual(t, warm.Precedence(), fresh.Precedence(), "restored post-edit matrix")
+
+	// ...and the original profile must still get ITS matrix — a restore of
+	// the pre-edit state, never the session's patched one.
+	cold, err := ec2.Engine(context.Background(), orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origFresh, err := manirank.NewEngine(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMatrixEqual(t, cold.Precedence(), origFresh.Precedence(), "restored pre-edit matrix")
+}

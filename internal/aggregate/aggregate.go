@@ -255,7 +255,10 @@ func Kemeny(w *ranking.Precedence, opts KemenyOptions) ranking.Ranking {
 func KemenyCtx(ctx context.Context, w *ranking.Precedence, opts KemenyOptions) ranking.Ranking {
 	opts = opts.WithDefaults()
 	if w.N() <= opts.ExactThreshold {
-		seed := kemeny.LocalSearch(w, kemeny.BordaFromPrecedence(w))
+		// A warm-start ranking (Heuristic.Warm) seeds the exact search's
+		// incumbent too: the bound tightens immediately, but the optimum —
+		// unlike the heuristic's answer — is seed-independent.
+		seed := kemeny.LocalSearch(w, kemeny.WarmOrBordaSeed(w, opts.Heuristic))
 		res := kemeny.BranchAndBoundCtx(ctx, w, nil, seed, opts.MaxNodes)
 		if res.Ranking != nil {
 			return res.Ranking

@@ -94,12 +94,26 @@ func FairKemenyW(w *ranking.Precedence, targets []Target, opts Options) (ranking
 // repair itself is polynomial and always runs to completion.
 func FairKemenyWCtx(ctx context.Context, w *ranking.Precedence, targets []Target, opts Options) (ranking.Ranking, error) {
 	kopts := opts.Kemeny.WithDefaults()
-	unfair := aggregate.KemenyCtx(ctx, w, kopts)
-	incumbent, err := MakeMRFair(unfair, targets)
-	if err != nil {
-		return nil, fmt.Errorf("core: FairKemeny could not build a feasible incumbent: %w", err)
-	}
 	cons := constraints(targets)
+	// Warm start (Kemeny.Heuristic.Warm): when the previous consensus is
+	// still feasible under the targets — parity depends only on the ranking
+	// and the attributes, never on the profile, so a consensus solved before
+	// a profile mutation remains feasible after it — it replaces the whole
+	// unconstrained-Kemeny + Make-MR-Fair incumbent derivation. That skips
+	// one of the two full search phases a cold Fair-Kemeny pays, which is
+	// what makes session re-solves cheap. An infeasible or mis-sized warm
+	// ranking falls back to the cold path.
+	var incumbent ranking.Ranking
+	if warm := kopts.Heuristic.Warm; len(warm) == w.N() && kemeny.Feasible(warm, cons) {
+		incumbent = warm.Clone()
+	} else {
+		unfair := aggregate.KemenyCtx(ctx, w, kopts)
+		var err error
+		incumbent, err = MakeMRFair(unfair, targets)
+		if err != nil {
+			return nil, fmt.Errorf("core: FairKemeny could not build a feasible incumbent: %w", err)
+		}
+	}
 	if w.N() <= kopts.ExactThreshold {
 		res := kemeny.BranchAndBoundCtx(ctx, w, cons, incumbent, kopts.MaxNodes)
 		if res.Ranking != nil {

@@ -97,6 +97,17 @@ type Options struct {
 	// sequentially. The result is bitwise identical for every value — same
 	// invariant as ranking.NewPrecedenceWorkers.
 	Workers int
+	// Warm, when non-nil, seeds the search from this ranking instead of the
+	// Borda consensus — the streaming-profile warm start: after an O(n²)
+	// profile mutation the previous consensus is already near-optimal, so
+	// descending from it converges in far fewer passes than re-deriving a
+	// cold seed. The ranking must be a valid permutation over the matrix's
+	// candidates (engines ignore a length mismatch and fall back to the cold
+	// seed); it is cloned before any mutation. Warm-started results are
+	// deterministic per (input, Warm, options) and bitwise identical for
+	// every Workers value, but NOT guaranteed identical to a cold solve —
+	// the two explore from different local optima.
+	Warm ranking.Ranking
 }
 
 func (o Options) withDefaults() Options {
@@ -135,11 +146,22 @@ func Heuristic(w *ranking.Precedence, opts Options) ranking.Ranking {
 func HeuristicCtx(ctx context.Context, w *ranking.Precedence, opts Options) ranking.Ranking {
 	opts = opts.withDefaults()
 	endSeed := obs.StartSpan(ctx, "kemeny_seed_descent")
-	seed := BordaFromPrecedence(w)
+	seed := WarmOrBordaSeed(w, opts)
 	seedCost := w.KemenyCost(seed) + localSearchDelta(ctx, w, seed)
 	endSeed()
 	best, _ := restartSearch(ctx, w, nil, seed, seedCost, opts)
 	return best
+}
+
+// WarmOrBordaSeed resolves a search's starting ranking: a clone of
+// Options.Warm when one is usable, otherwise the Borda consensus. A warm
+// ranking of the wrong length (a stale consensus over a different candidate
+// set) silently falls back to cold rather than corrupting the search.
+func WarmOrBordaSeed(w *ranking.Precedence, opts Options) ranking.Ranking {
+	if len(opts.Warm) == w.N() {
+		return opts.Warm.Clone()
+	}
+	return BordaFromPrecedence(w)
 }
 
 // ConstrainedLocalSearch minimises Kemeny cost over rankings satisfying cons

@@ -193,6 +193,66 @@ func accumulateShard(w []int32, p Profile, weights []int, n int) {
 	}
 }
 
+// Clone returns a deep copy of w. Mutating either copy (AddRanking /
+// RemoveRanking) never affects the other — the copy-on-write primitive
+// behind sharing one matrix between a cache tier and a mutable engine.
+func (w *Precedence) Clone() *Precedence {
+	out := &Precedence{n: w.n, m: w.m, w: make([]int32, len(w.w))}
+	copy(out.w, w.w)
+	return out
+}
+
+// AddRanking folds one more base ranking into w in O(n²) — the incremental
+// alternative to rebuilding the whole matrix in O(n²·m). The result is
+// bitwise identical to NewPrecedence over the extended profile (integer
+// addition commutes, exactly the invariant the construction shards rely on).
+func (w *Precedence) AddRanking(r Ranking) error {
+	if len(r) != w.n {
+		return fmt.Errorf("ranking: AddRanking got %d candidates, matrix has %d", len(r), w.n)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if w.m >= math.MaxInt32 {
+		return fmt.Errorf("ranking: %d rankings overflow the int32 cell size", w.m+1)
+	}
+	patchRanking(w.w, r, w.n, 1)
+	w.m++
+	return nil
+}
+
+// RemoveRanking subtracts one base ranking's contribution from w in O(n²).
+// The caller must pass a ranking the matrix actually aggregates (w does not
+// hold the profile, so it cannot verify membership itself — removing a
+// ranking never added leaves negative cells). Removing the exact rankings
+// previously added, in any order, restores the matrix bitwise.
+func (w *Precedence) RemoveRanking(r Ranking) error {
+	if len(r) != w.n {
+		return fmt.Errorf("ranking: RemoveRanking got %d candidates, matrix has %d", len(r), w.n)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if w.m == 0 {
+		return fmt.Errorf("ranking: RemoveRanking on an empty matrix")
+	}
+	patchRanking(w.w, r, w.n, -1)
+	w.m--
+	return nil
+}
+
+// patchRanking applies one ranking's upper-triangle contribution to w with
+// weight wt (±1) — the same kernel shape as accumulateShard, specialised to
+// a single ranking.
+func patchRanking(w []int32, r Ranking, n int, wt int32) {
+	for j := 1; j < n; j++ {
+		row := w[r[j]*n : r[j]*n+n]
+		for _, b := range r[:j] {
+			row[b] += wt
+		}
+	}
+}
+
 // N returns the number of candidates.
 func (w *Precedence) N() int { return w.n }
 

@@ -239,6 +239,32 @@ func (c *MatrixCache) Do(ctx context.Context, key string, build func() (value an
 	return v, false, false, berr
 }
 
+// Put admits an externally produced value for key — the write path for
+// matrices the serving layer patched incrementally rather than built through
+// Do (a session mutation produces the matrix of a profile this tier has
+// never seen, already paid for). The value is stored in memory under the
+// usual cost budget and written through to the persistent store exactly like
+// a fresh build, so a later Do on the same key — this process or the next —
+// restores it instead of rebuilding. The caller must key by the digest of
+// the profile the value actually summarises (its post-mutation state) and
+// must not mutate value afterwards; in-flight Do builds for the same key are
+// left alone (they produce an identical value by construction).
+func (c *MatrixCache) Put(ctx context.Context, key string, value any, cost int64) {
+	var (
+		store Store
+		codec Codec
+	)
+	c.mu.Lock()
+	c.storeLocked(key, value, cost)
+	if c.budget > 0 {
+		store, codec = c.store, c.codec
+	}
+	c.mu.Unlock()
+	if store != nil {
+		c.persist(ctx, store, codec, key, value)
+	}
+}
+
 // errMatrixBuildPanic resolves a flight whose builder panicked; the panic
 // itself propagates to the leader's caller, and followers must see this
 // sentinel rather than a misleading cancellation error.

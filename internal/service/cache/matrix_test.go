@@ -182,3 +182,47 @@ func TestMatrixStatsHitRate(t *testing.T) {
 		t.Fatalf("empty hit rate = %g, want 0", hr)
 	}
 }
+
+// TestMatrixPut: externally produced values (the serving layer's
+// incrementally patched matrices) are admitted like fresh builds — resident
+// in memory, written through to an attached store, and served to a later Do
+// without running its builder, in this process or the next.
+func TestMatrixPut(t *testing.T) {
+	root := t.TempDir()
+	open := func() *MatrixCache {
+		st, err := OpenFileStore(root, "v1@engine-1/matrices")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewMatrixCache(100)
+		c.AttachStore(st, stringCodec(), func(any) int64 { return 10 })
+		return c
+	}
+	c1 := open()
+	c1.Put(context.Background(), testKey, "patched", 10)
+	if s := c1.Stats(); s.Entries != 1 || s.CostUsed != 10 || s.DiskPuts != 1 {
+		t.Fatalf("stats after Put = %+v, want resident and written through", s)
+	}
+	if v, hit := mustMatrixDo(t, c1, testKey, "rebuilt", 10); !hit || v.(string) != "patched" {
+		t.Fatalf("Do after Put = %v hit=%v, want the admitted value", v, hit)
+	}
+
+	// Restart: the Put entry restores from disk like any build.
+	c2 := open()
+	v, hit, _, err := c2.Do(context.Background(), testKey, func() (any, int64, error) {
+		return "rebuilt", 10, nil
+	})
+	if err != nil || !hit || v.(string) != "patched" {
+		t.Fatalf("restart Do = %v hit=%v err=%v, want disk restore of the Put", v, hit, err)
+	}
+	if s := c2.Stats(); s.DiskHits != 1 || s.Builds != 0 {
+		t.Fatalf("restart stats = %+v, want a disk hit and no build", s)
+	}
+
+	// Budget off: Put neither stores nor persists (matches Do's contract).
+	c3 := NewMatrixCache(0)
+	c3.Put(context.Background(), testKey, "x", 10)
+	if s := c3.Stats(); s.Entries != 0 || s.DiskPuts != 0 {
+		t.Fatalf("disabled-cache Put stats = %+v, want nothing stored", s)
+	}
+}

@@ -62,6 +62,16 @@ type Config struct {
 	DeadlineMillis int64
 	// Seed drives profile generation and the popularity draws.
 	Seed int64
+	// Mode selects the churn replay shape (RunChurn only): "session"
+	// streams mutations to a pinned /v1/session profile, "stateless" (the
+	// default, and the control arm) re-POSTs the full mutated profile to
+	// /v1/aggregate — paying the complete matrix rebuild and a cold solve
+	// on every edit.
+	Mode string
+	// ChurnFraction is the probability each churn request mutates the
+	// profile (one ranking replaced) before re-solving; the remainder are
+	// pure re-solves of the current state. RunChurn only.
+	ChurnFraction float64
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Delta == 0 {
 		c.Delta = 0.2
+	}
+	if c.Mode == "" {
+		c.Mode = "stateless"
 	}
 	return c
 }
@@ -130,6 +143,14 @@ type Result struct {
 	HitRateDrift           float64 `json:"hit_rate_drift"`
 	MatrixPredictedHitRate float64 `json:"matrix_predicted_hit_rate"`
 	MatrixHitRateDrift     float64 `json:"matrix_hit_rate_drift"`
+	// The churn columns (RunChurn only, BENCH_9): the replay mode, the
+	// configured mutation fraction, how many requests actually mutated, and
+	// how many session solves were warm-started from a previous consensus
+	// (always 0 in stateless mode — /v1/aggregate solves cold).
+	Mode          string  `json:"mode,omitempty"`
+	ChurnFraction float64 `json:"churn_fraction,omitempty"`
+	Mutations     int     `json:"mutations,omitempty"`
+	WarmStarted   int     `json:"warm_started,omitempty"`
 }
 
 // buildPool generates the distinct request bodies, pre-marshalled once —
@@ -138,12 +159,7 @@ type Result struct {
 // so the bodies collide on the profile sub-digest but not the full digest.
 func buildPool(cfg Config) ([][][]byte, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	gender := make([]int, cfg.Candidates)
-	region := make([]int, cfg.Candidates)
-	for c := 0; c < cfg.Candidates; c++ {
-		gender[c] = c % 2
-		region[c] = (c / 2) % 3
-	}
+	gender, region := attrVectors(cfg.Candidates)
 	pool := make([][][]byte, cfg.Profiles)
 	for i := range pool {
 		modal := ranking.Random(cfg.Candidates, rng)
@@ -172,6 +188,18 @@ func buildPool(cfg Config) ([][][]byte, error) {
 		}
 	}
 	return pool, nil
+}
+
+// attrVectors returns the synthetic Gender/Region attribute assignments
+// every generated profile carries (candidate c: Gender c%2, Region (c/2)%3).
+func attrVectors(n int) (gender, region []int) {
+	gender = make([]int, n)
+	region = make([]int, n)
+	for c := 0; c < n; c++ {
+		gender[c] = c % 2
+		region[c] = (c / 2) % 3
+	}
+	return gender, region
 }
 
 // picker returns a popularity sampler over [0, n): index k is drawn with
@@ -341,7 +369,13 @@ func Run(cfg Config) (Result, error) {
 		}(c, perClient)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return collectResult(cfg, total, errs, rejected, hits, coalesced, latencies, time.Since(start))
+}
+
+// collectResult assembles the measurement columns every workload shape
+// shares, then scrapes the server's /statz and /metricsz for the per-tier
+// counters covering exactly this run.
+func collectResult(cfg Config, total, errs, rejected, hits, coalesced int, latencies []float64, elapsed time.Duration) (Result, error) {
 	res := Result{
 		ZipfS:     cfg.ZipfS,
 		Methods:   cfg.Methods,
@@ -383,4 +417,173 @@ func Run(cfg Config) (Result, error) {
 	res.MatrixPredictedHitRate = samples[`manirank_cache_hit_rate_predicted{tier="matrix"}`]
 	res.MatrixHitRateDrift = samples[`manirank_cache_hit_rate_drift{tier="matrix"}`]
 	return res, nil
+}
+
+// RunChurn replays a mutate-heavy workload: each client owns one evolving
+// Mallows profile and, per request, mutates it (one ranking replaced by a
+// fresh random permutation) with probability ChurnFraction before asking
+// for a new consensus; the remainder are pure re-solves of the current
+// state. In "session" mode the profile is pinned server-side once and every
+// request is a /v1/session op — mutations patch the precedence matrix in
+// O(n²) and re-solves warm-start from the previous consensus. In
+// "stateless" mode (the control arm) the client re-POSTs the full mutated
+// profile to /v1/aggregate, paying the complete O(n²·m) rebuild and a cold
+// solve on every edit. Per-client op streams are seeded identically in both
+// modes, so a BENCH_9 cell pair compares the same edit sequence.
+func RunChurn(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mode != "session" && cfg.Mode != "stateless" {
+		return Result{}, fmt.Errorf("loadgen: unknown churn mode %q", cfg.Mode)
+	}
+	method := cfg.Methods[0]
+	gender, region := attrVectors(cfg.Candidates)
+	attrs := []service.AttributeSpec{
+		{Name: "Gender", Values: []string{"M", "W"}, Of: gender},
+		{Name: "Region", Values: []string{"N", "C", "S"}, Of: region},
+	}
+	var (
+		mu                  sync.Mutex
+		latencies           []float64
+		hits, coalesced     int
+		errs, rejected      int
+		mutations, warmedUp int
+	)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	start := time.Now()
+	var wg sync.WaitGroup
+	total := 0
+	for c := 0; c < cfg.Clients; c++ {
+		perClient := cfg.Requests / cfg.Clients
+		if c < cfg.Requests%cfg.Clients {
+			perClient++
+		}
+		total += perClient
+		wg.Add(1)
+		go func(c, perClient int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(1000+c)))
+			modal := ranking.Random(cfg.Candidates, rng)
+			p := mallows.MustNewPlackettLuce(modal, cfg.Theta).SampleProfile(cfg.Rankers, rng)
+			profile := make([][]int, len(p))
+			for j, r := range p {
+				profile[j] = r
+			}
+			req := &service.AggregateRequest{
+				Method:         method,
+				Profile:        profile,
+				Attributes:     attrs,
+				Delta:          cfg.Delta,
+				DeadlineMillis: cfg.DeadlineMillis,
+			}
+			fail := func(n int) {
+				mu.Lock()
+				errs += n
+				mu.Unlock()
+			}
+			var sessionID string
+			if cfg.Mode == "session" {
+				blob, err := json.Marshal(req)
+				if err != nil {
+					fail(perClient)
+					return
+				}
+				resp, err := client.Post(cfg.URL+"/v1/session", "application/json", bytes.NewReader(blob))
+				if err != nil {
+					fail(perClient)
+					return
+				}
+				var sr service.SessionResponse
+				decodeErr := json.NewDecoder(resp.Body).Decode(&sr)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decodeErr != nil || sr.SessionID == "" {
+					fail(perClient)
+					return
+				}
+				sessionID = sr.SessionID
+				defer func() {
+					dreq, err := http.NewRequest(http.MethodDelete, cfg.URL+"/v1/session/"+sessionID, nil)
+					if err != nil {
+						return
+					}
+					if resp, err := client.Do(dreq); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}()
+			}
+			for i := 0; i < perClient; i++ {
+				mutate := rng.Float64() < cfg.ChurnFraction
+				var idx int
+				var row ranking.Ranking
+				if mutate {
+					idx = rng.Intn(cfg.Rankers)
+					row = ranking.Random(cfg.Candidates, rng)
+				}
+				var body []byte
+				var err error
+				target := cfg.URL + "/v1/aggregate"
+				if cfg.Mode == "session" {
+					op := service.SessionOp{Op: "solve", DeadlineMillis: cfg.DeadlineMillis}
+					if mutate {
+						op = service.SessionOp{Op: "update", Index: idx, Ranking: row, DeadlineMillis: cfg.DeadlineMillis}
+					}
+					body, err = json.Marshal(op)
+					target = cfg.URL + "/v1/session/" + sessionID
+				} else {
+					if mutate {
+						profile[idx] = row
+					}
+					body, err = json.Marshal(req)
+				}
+				if err != nil {
+					fail(1)
+					continue
+				}
+				reqStart := time.Now()
+				resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+				if err != nil {
+					fail(1)
+					continue
+				}
+				// SessionResponse is a strict superset of AggregateResponse,
+				// so one decode covers both modes (the session-only columns
+				// stay zero against /v1/aggregate).
+				var out service.SessionResponse
+				decodeErr := json.NewDecoder(resp.Body).Decode(&out)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ms := float64(time.Since(reqStart)) / float64(time.Millisecond)
+				mu.Lock()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected++
+				case resp.StatusCode != http.StatusOK || decodeErr != nil:
+					errs++
+				default:
+					latencies = append(latencies, ms)
+					if mutate {
+						mutations++
+					}
+					if out.Cached {
+						hits++
+					}
+					if out.Coalesced {
+						coalesced++
+					}
+					if out.WarmStarted {
+						warmedUp++
+					}
+				}
+				mu.Unlock()
+			}
+		}(c, perClient)
+	}
+	wg.Wait()
+	res, err := collectResult(cfg, total, errs, rejected, hits, coalesced, latencies, time.Since(start))
+	res.Mode = cfg.Mode
+	res.ChurnFraction = cfg.ChurnFraction
+	res.Mutations = mutations
+	res.WarmStarted = warmedUp
+	return res, err
 }

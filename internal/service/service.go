@@ -98,6 +98,10 @@ type Config struct {
 	MaxDeadline time.Duration
 	// MaxBodyBytes bounds the request body (default 32 MiB).
 	MaxBodyBytes int64
+	// MaxSessions bounds the number of live streaming sessions (default 256;
+	// negative disables the session endpoint). Session creation beyond the
+	// bound answers 429 until a session is deleted.
+	MaxSessions int
 	// TraceSlow, when positive, logs any request whose wall time reaches it
 	// with the request's full span breakdown (the trace lands in /tracez
 	// either way). Zero disables the slow-request log.
@@ -136,6 +140,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxSessions < 0 {
+		c.MaxSessions = 0 // sessions disabled
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -190,6 +200,10 @@ type job struct {
 	done     chan struct{}
 	res      *result
 	err      error
+	// run, when non-nil, replaces the stateless s.solve(pb) with a custom
+	// computation — the session endpoint's warm-started engine solves. pb
+	// still rides along for the per-method histogram and logging.
+	run func(ctx context.Context) (*result, error)
 	// state arbitrates the queued job between the worker and a leader whose
 	// deadline lapses while it waits: exactly one of claim/abandon wins.
 	state atomic.Int32 // 0 = queued, 1 = claimed by a worker, 2 = abandoned by the leader
@@ -220,6 +234,11 @@ type Server struct {
 	inFlight atomic.Int64 // solves currently executing
 	queued   atomic.Int64 // jobs waiting in the queue
 
+	// Streaming sessions (session.go): id → live session. sessMu guards the
+	// map only; each session carries its own lock.
+	sessMu   sync.Mutex
+	sessions map[string]*session
+
 	// The telemetry core (internal/obs). Every family below lives in reg,
 	// which /metricsz renders as Prometheus text; /statz reads the same
 	// structs. All label sets are pre-registered at construction — statuses
@@ -237,6 +256,7 @@ type Server struct {
 	statusOther *obs.Counter              // statuses outside the known set
 	cheResult   *obs.CheEstimator         // result-tier popularity model
 	cheMatrix   *obs.CheEstimator         // matrix-tier popularity model
+	sessionOps  map[string]*obs.Counter   // session operations by op
 	closeOnce   sync.Once
 }
 
@@ -259,6 +279,7 @@ func New(cfg Config) (*Server, error) {
 		traces:    obs.NewTraceRing(0, 0),
 		cheResult: obs.NewCheEstimator(),
 		cheMatrix: obs.NewCheEstimator(),
+		sessions:  make(map[string]*session),
 	}
 	s.initObs()
 	if cfg.CacheDir != "" {
@@ -306,9 +327,15 @@ var traceStages = []string{
 // gets a pre-registered counter, anything else lands in status="other".
 var knownStatuses = []int{
 	http.StatusOK, http.StatusBadRequest, http.StatusMethodNotAllowed,
-	http.StatusTooManyRequests, http.StatusInternalServerError,
-	http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+	http.StatusNotFound, http.StatusTooManyRequests,
+	http.StatusInternalServerError, http.StatusServiceUnavailable,
+	http.StatusGatewayTimeout,
 }
+
+// sessionOpNames is every session operation the endpoint accepts (plus the
+// lifecycle pseudo-ops); each gets a pre-registered counter so the family's
+// cardinality is bounded regardless of traffic.
+var sessionOpNames = []string{"create", "add", "remove", "update", "solve", "delete"}
 
 // resultSizer approximates a cached result's resident footprint for the
 // per-tier bytes gauge — slice header plus elements, strings, and audit
@@ -358,6 +385,19 @@ func (s *Server) initObs() {
 		func() float64 { return float64(s.cfg.Workers) })
 	r.GaugeFunc("manirank_uptime_seconds", "seconds since the server started",
 		func() float64 { return time.Since(s.started).Seconds() })
+
+	// Streaming sessions: live-session gauge plus one counter per operation.
+	r.GaugeFunc("manirank_sessions_active", "live streaming sessions",
+		func() float64 {
+			s.sessMu.Lock()
+			defer s.sessMu.Unlock()
+			return float64(len(s.sessions))
+		})
+	s.sessionOps = make(map[string]*obs.Counter, len(sessionOpNames))
+	for _, op := range sessionOpNames {
+		s.sessionOps[op] = r.Counter("manirank_session_ops_total",
+			"session operations by op", obs.L("op", op))
+	}
 
 	// Result tier: adopt the cache-owned counters under tier="result".
 	rc := s.cache.Counters()
@@ -514,7 +554,11 @@ func (s *Server) worker() {
 			}
 			s.inFlight.Add(1)
 			t0 := time.Now()
-			j.res, j.err = s.solve(j.ctx, j.pb)
+			if j.run != nil {
+				j.res, j.err = j.run(j.ctx)
+			} else {
+				j.res, j.err = s.solve(j.ctx, j.pb)
+			}
 			if j.err == nil {
 				// Solve time is measured worker-side — queueing, coalescing,
 				// and cache lookups excluded — so the per-method family
@@ -597,6 +641,12 @@ func (s *Server) solve(ctx context.Context, pb *problem) (*result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildResult(sr, pb), nil
+}
+
+// buildResult lowers an engine Result onto the wire form shared by the
+// stateless and session solve paths.
+func buildResult(sr *manirank.Result, pb *problem) *result {
 	res := &result{
 		Ranking: sr.Ranking,
 		Method:  pb.method.String(),
@@ -610,7 +660,7 @@ func (s *Server) solve(ctx context.Context, pb *problem) (*result, error) {
 		}
 		res.Audit = &auditPayload{ARPs: arps, IRP: sr.Report.IRP}
 	}
-	return res, nil
+	return res
 }
 
 // deadline resolves a request's compute budget.
@@ -629,12 +679,13 @@ func (s *Server) deadline(req *AggregateRequest) time.Duration {
 // context is detached from the requester: coalesced followers must not lose
 // the computation because the leader's connection died, and the deadline
 // bounds it regardless. The leader's trace is re-attached to the detached
-// context explicitly so the worker's queue/solve spans land on it.
-func (s *Server) admit(tr *obs.Trace, pb *problem, budget time.Duration) (*result, error) {
+// context explicitly so the worker's queue/solve spans land on it. run, when
+// non-nil, replaces the stateless solve (see job.run).
+func (s *Server) admit(tr *obs.Trace, pb *problem, budget time.Duration, run func(ctx context.Context) (*result, error)) (*result, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
 	ctx = obs.WithTrace(ctx, tr)
-	j := &job{pb: pb, ctx: ctx, enqueued: time.Now(), done: make(chan struct{})}
+	j := &job{pb: pb, ctx: ctx, enqueued: time.Now(), done: make(chan struct{}), run: run}
 	// Count the job before the send: a worker may pop it (and decrement)
 	// the instant the send lands, and the depth gauge must never go
 	// negative. The rejection paths undo the increment.
@@ -674,12 +725,16 @@ func (s *Server) admit(tr *obs.Trace, pb *problem, budget time.Duration) (*resul
 	}
 }
 
-// Handler returns the service's HTTP mux: POST /v1/aggregate, GET /healthz,
-// GET /statz (JSON), GET /metricsz (Prometheus text), GET /tracez (recent
-// and slowest request traces, JSON).
+// Handler returns the service's HTTP mux: POST /v1/aggregate, the streaming
+// session surface (POST /v1/session to create, POST /v1/session/{id} to
+// mutate and re-solve, GET/DELETE /v1/session/{id}), GET /healthz, GET
+// /statz (JSON), GET /metricsz (Prometheus text), GET /tracez (recent and
+// slowest request traces, JSON).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/aggregate", s.handleAggregate)
+	mux.HandleFunc("/v1/session", s.handleSessionCreate)
+	mux.HandleFunc("/v1/session/", s.handleSession)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
@@ -720,7 +775,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	defer cancelWait()
 	waitCtx = obs.WithTrace(waitCtx, tr)
 	v, hit, shared, err := s.cache.Do(waitCtx, digest, func() (any, bool, error) {
-		res, err := s.admit(tr, pb, budget)
+		res, err := s.admit(tr, pb, budget, nil)
 		if err != nil {
 			return nil, false, err
 		}
@@ -833,6 +888,16 @@ type Statz struct {
 	// incremental parity auditor in the fair methods — is visible in serving
 	// rather than only in benchmarks.
 	LatencyByMethod map[string]LatencySnapshot `json:"latency_solve_by_method"`
+	// Sessions reports the streaming-session surface.
+	Sessions SessionStatz `json:"sessions"`
+}
+
+// SessionStatz reports the streaming-session surface: live sessions and
+// operation counts (ops with no traffic are omitted, matching the
+// requests_by_status shape).
+type SessionStatz struct {
+	Active int               `json:"active"`
+	Ops    map[string]uint64 `json:"ops"`
 }
 
 // QueueStatz reports the admission layer.
@@ -879,6 +944,15 @@ func (s *Server) StatzSnapshot() Statz {
 	for m, h := range s.methodHist {
 		if h.Count() > 0 {
 			st.LatencyByMethod[m] = latencySnapshot(h)
+		}
+	}
+	s.sessMu.Lock()
+	st.Sessions.Active = len(s.sessions)
+	s.sessMu.Unlock()
+	st.Sessions.Ops = map[string]uint64{}
+	for op, c := range s.sessionOps {
+		if v := c.Value(); v > 0 {
+			st.Sessions.Ops[op] = v
 		}
 	}
 	return st

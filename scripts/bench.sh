@@ -37,6 +37,12 @@ SERVING="$(go run ./cmd/experiments -serve-bench -seed 1)"
 # control with no persistence — the phase deltas are what the disk tier buys.
 RESTART="$(go run ./cmd/experiments -serve-restart -seed 1)"
 
+# Streaming-session churn (PR 9): identically seeded per-client edit streams
+# replayed through /v1/session (incremental O(n²) matrix patches +
+# warm-started solves) versus stateless /v1/aggregate re-POSTs (full O(n²·m)
+# rebuild, cold solve) at mutation fractions {0.1, 0.5, 0.9}.
+CHURN="$(go run ./cmd/experiments -serve-churn -seed 1 -serve-requests "${CHURN_REQUESTS:-200}")"
+
 {
   echo '{'
   echo "  \"pr\": ${N},"
@@ -56,6 +62,8 @@ RESTART="$(go run ./cmd/experiments -serve-restart -seed 1)"
   echo "$SERVING" | sed 's/^/  /'
   echo '  ,"restart":'
   echo "$RESTART" | sed 's/^/  /'
+  echo '  ,"churn":'
+  echo "$CHURN" | sed 's/^/  /'
   echo '}'
 } > "$OUT"
 

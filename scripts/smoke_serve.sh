@@ -101,6 +101,44 @@ echo "metricsz smoke ok"
 
 echo "serve smoke ok"
 
+# --- Streaming sessions: create, churn, and tear down a /v1/session ---
+CREATED="$(curl -sf -X POST "$BASE/v1/session" -H 'Content-Type: application/json' -d "$REQ")"
+echo "session create: $CREATED"
+SID="$(echo "$CREATED" | sed -n 's/.*"session_id":"\([0-9a-f]*\)".*/\1/p')"
+[ -n "$SID" ] || { echo "session create returned no session_id" >&2; exit 1; }
+echo "$CREATED" | grep -q '"ranking":\[' || { echo "no ranking in session create" >&2; exit 1; }
+echo "$CREATED" | grep -q '"version":0' || { echo "fresh session is not at version 0" >&2; exit 1; }
+
+# A bare re-solve of the unchanged state must come out of the result cache.
+RESOLVE="$(curl -sf -X POST "$BASE/v1/session/$SID" -H 'Content-Type: application/json' -d '{"op":"solve"}')"
+echo "$RESOLVE" | grep -q '"cached":true' || { echo "session re-solve missed the result cache: $RESOLVE" >&2; exit 1; }
+
+# A mutation patches the matrix in place (no new build), bumps the version,
+# and the re-solve is warm-started off the previous consensus — never cached.
+UPDATED="$(curl -sf -X POST "$BASE/v1/session/$SID" -H 'Content-Type: application/json' \
+  -d '{"op":"update","index":0,"ranking":[19,18,17,16,15,14,13,12,11,10,9,8,7,6,5,4,3,2,1,0]}')"
+echo "session update: $UPDATED"
+echo "$UPDATED" | grep -q '"version":1' || { echo "update did not bump the session version" >&2; exit 1; }
+echo "$UPDATED" | grep -q '"cached":false' || { echo "mutated state claimed a cache hit" >&2; exit 1; }
+echo "$UPDATED" | grep -q '"warm_started":true' || { echo "post-mutation solve was not warm-started" >&2; exit 1; }
+echo "$UPDATED" | grep -q '"ranking":\[' || { echo "no ranking after session update" >&2; exit 1; }
+
+# Adding a ranking grows the profile; the churned session never re-paid the
+# full matrix build (still exactly one build from the very first request).
+ADDED="$(curl -sf -X POST "$BASE/v1/session/$SID" -H 'Content-Type: application/json' \
+  -d '{"op":"add","ranking":[0,2,1,4,3,6,5,8,7,10,9,12,11,14,13,16,15,18,17,19]}')"
+echo "$ADDED" | grep -q '"rankers":4' || { echo "add did not grow the session profile: $ADDED" >&2; exit 1; }
+STATZ="$(curl -sf "$BASE/statz")"
+echo "$STATZ" | grep -q '"builds":1' || { echo "session churn re-ran a matrix build" >&2; exit 1; }
+echo "$STATZ" | grep -q '"active":1' || { echo "statz does not show the live session" >&2; exit 1; }
+
+INFO="$(curl -sf "$BASE/v1/session/$SID")"
+echo "$INFO" | grep -q '"version":2' || { echo "session info has wrong version: $INFO" >&2; exit 1; }
+curl -sf -X DELETE "$BASE/v1/session/$SID" >/dev/null || { echo "session delete failed" >&2; exit 1; }
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/session/$SID")"
+[ "$CODE" = 404 ] || { echo "deleted session still answers ($CODE)" >&2; exit 1; }
+echo "session smoke ok"
+
 # --- Persistence: warm restart over -cache-dir ---
 kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
 
