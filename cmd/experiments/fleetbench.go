@@ -1,0 +1,257 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"manirank/internal/fleet"
+	"manirank/internal/service"
+	"manirank/internal/service/loadgen"
+)
+
+// fleetBenchReport is BENCH_10.json: the same Zipf-skewed workload replayed
+// against a single node (the BENCH_4/BENCH_8-shaped control) and against an
+// N-replica fleet with rendezvous-sharded cache tiers, plus a degradation
+// phase that kills one replica mid-load. The columns the fleet must win on:
+// fleet-wide result hit rate above the single-node control at the same skew
+// (the fleet pools its per-node capacity into one sharded tier), and total
+// matrix builds per distinct profile near 1.0 (per-ring single-compute:
+// only a digest's owner builds, everyone else peer-fetches).
+type fleetBenchReport struct {
+	Candidates int     `json:"candidates"`
+	Rankers    int     `json:"rankers"`
+	Profiles   int     `json:"distinct_profiles"`
+	Clients    int     `json:"clients"`
+	CacheSize  int     `json:"cache_size"`
+	Workers    int     `json:"workers"`
+	FleetNodes int     `json:"fleet_nodes"`
+	ZipfS      float64 `json:"zipf_s"`
+	// Phases: "control" is one node at the same per-node cache size;
+	// "fleet" is the N-replica run; "degraded" replays against the fleet's
+	// survivors while one replica is killed mid-load.
+	Phases map[string]loadgen.Result `json:"phases"`
+	// BuildsPerProfile is the fleet phase's matrix builds divided by the
+	// distinct-profile count — the per-ring single-compute figure of merit
+	// (1.0 is perfect: every profile built exactly once fleet-wide).
+	BuildsPerProfile float64 `json:"builds_per_unique_profile"`
+	// KilledMidRun records whether the degraded phase's kill actually landed
+	// while requests were in flight; false means the run drained before the
+	// timer fired (too few requests for this machine) and the phase only
+	// proved post-kill serving, not mid-load loss.
+	KilledMidRun bool `json:"killed_mid_run"`
+}
+
+// fleetNode is one in-process replica: its listener, server, and ring.
+type fleetNode struct {
+	url     string
+	ln      net.Listener
+	ring    *fleet.Fleet
+	srv     *service.Server
+	httpSrv *http.Server
+}
+
+// startFleet boots n replicas on loopback listeners, each owning a ring
+// over the full member list. Listeners are bound first so every node knows
+// the complete URL set before its fleet is constructed.
+func startFleet(n, cacheSize int) ([]*fleetNode, error) {
+	nodes := make([]*fleetNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stopFleet(nodes)
+			return nil, err
+		}
+		nodes[i] = &fleetNode{ln: ln, url: "http://" + ln.Addr().String()}
+		urls[i] = nodes[i].url
+	}
+	for i, node := range nodes {
+		peers := make([]string, 0, n-1)
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		ring, err := fleet.New(fleet.Config{
+			Self:  node.url,
+			Peers: peers,
+			// Fast probes so the degraded phase re-routes within a few
+			// hundred milliseconds of the kill instead of the 2s default.
+			ProbeInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			stopFleet(nodes)
+			return nil, err
+		}
+		node.ring = ring
+		srv, err := service.New(service.Config{
+			CacheSize: cacheSize,
+			Fleet:     ring,
+			Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		if err != nil {
+			ring.Close()
+			stopFleet(nodes)
+			return nil, err
+		}
+		node.srv = srv
+		node.httpSrv = &http.Server{Handler: srv.Handler()}
+		go node.httpSrv.Serve(node.ln)
+	}
+	return nodes, nil
+}
+
+// stopFleet tears down whatever startFleet managed to boot, in the reverse
+// of a node's own dependency order (listener, then server, then ring).
+func stopFleet(nodes []*fleetNode) {
+	for _, node := range nodes {
+		if node == nil {
+			continue
+		}
+		killNode(node)
+	}
+}
+
+// killNode stops one replica abruptly: in-flight connections are dropped,
+// not drained, which is the failure the degraded phase measures.
+func killNode(node *fleetNode) {
+	if node.httpSrv != nil {
+		node.httpSrv.Close()
+	} else {
+		node.ln.Close()
+	}
+	if node.srv != nil {
+		node.srv.Close()
+	}
+	if node.ring != nil {
+		node.ring.Close()
+	}
+}
+
+// runFleetBench measures the rendezvous-sharded fleet (DESIGN.md §13 /
+// BENCH_10) against its single-node control and under the loss of one
+// replica mid-load.
+func runFleetBench(seed int64, requests, clients, profiles, cacheSize, fleetNodes int) error {
+	if fleetNodes < 2 {
+		return fmt.Errorf("fleet-bench: need at least 2 nodes, got %d", fleetNodes)
+	}
+	report := fleetBenchReport{
+		Candidates: 60,
+		Rankers:    40,
+		Profiles:   profiles,
+		Clients:    clients,
+		CacheSize:  cacheSize,
+		Workers:    runtime.GOMAXPROCS(0),
+		FleetNodes: fleetNodes,
+		ZipfS:      1.2, // the BENCH_4/BENCH_8 moderate-skew cell
+		Phases:     map[string]loadgen.Result{},
+	}
+	baseCfg := loadgen.Config{
+		Clients:  clients,
+		Requests: requests,
+		Profiles: profiles,
+		ZipfS:    report.ZipfS,
+		Seed:     seed,
+	}
+
+	// Control: one node, same per-node cache size, same request stream.
+	control, err := startFleet(1, cacheSize)
+	if err != nil {
+		return err
+	}
+	cfg := baseCfg
+	cfg.URL = control[0].url
+	res, err := loadgen.Run(cfg)
+	stopFleet(control)
+	if err != nil {
+		return fmt.Errorf("fleet-bench control: %w", err)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("fleet-bench control: %d request errors", res.Errors)
+	}
+	report.Phases["control"] = res
+	fmt.Fprintf(os.Stderr, "fleet-bench control (1 node): %.1f req/s, hit rate %.2f, matrix builds %d, p50 %.1fms, p99 %.1fms\n",
+		res.Throughput, res.HitRate, res.MatrixBuilds, res.P50LatencyMS, res.P99LatencyMS)
+
+	// Fleet: N replicas behind a round-robin client spread.
+	nodes, err := startFleet(fleetNodes, cacheSize)
+	if err != nil {
+		return err
+	}
+	cfg = baseCfg
+	cfg.URLs = fleetURLs(nodes)
+	res, err = loadgen.Run(cfg)
+	if err != nil {
+		stopFleet(nodes)
+		return fmt.Errorf("fleet-bench fleet: %w", err)
+	}
+	if res.Errors > 0 {
+		stopFleet(nodes)
+		return fmt.Errorf("fleet-bench fleet: %d request errors", res.Errors)
+	}
+	report.Phases["fleet"] = res
+	report.BuildsPerProfile = float64(res.MatrixBuilds) / float64(profiles)
+	fmt.Fprintf(os.Stderr, "fleet-bench fleet (%d nodes): %.1f req/s, hit rate %.2f (control %.2f), matrix builds %d (%.2f per profile), result peer hits %d, matrix peer hits %d, peer errors %d\n",
+		fleetNodes, res.Throughput, res.HitRate, report.Phases["control"].HitRate,
+		res.MatrixBuilds, report.BuildsPerProfile, res.ResultPeerHits, res.MatrixPeerHits, res.PeerErrors)
+	for _, n := range res.Nodes {
+		fmt.Fprintf(os.Stderr, "fleet-bench   node %s: hit rate %.2f (Che predicted %.2f, drift %+.2f), builds %d, peer hits %d\n",
+			n.URL, n.HitRate, n.PredictedHitRate, n.HitRateDrift, n.MatrixBuilds, n.ResultPeerHits+n.MatrixPeerHits)
+	}
+	if res.ResultPeerHits == 0 {
+		stopFleet(nodes)
+		return fmt.Errorf("fleet-bench: no result peer hits — the ring never served a remote read")
+	}
+	// Per-ring single-compute: the whole fleet should have built each
+	// distinct profile's matrix about once. 1.5 leaves room for hedge and
+	// startup races without masking a broken owner route (which would land
+	// near the node count).
+	if report.BuildsPerProfile > 1.5 {
+		stopFleet(nodes)
+		return fmt.Errorf("fleet-bench: %.2f matrix builds per distinct profile — per-ring single-compute is not holding", report.BuildsPerProfile)
+	}
+
+	// Degraded: reuse the warm fleet, drive only the survivors, and kill
+	// the last replica mid-run. Survivors must absorb its key range —
+	// peer reads to the corpse fail fast and degrade to local compute, so
+	// every request still answers.
+	victim, survivors := nodes[len(nodes)-1], nodes[:len(nodes)-1]
+	killTimer := time.AfterFunc(200*time.Millisecond, func() { killNode(victim) })
+	cfg = baseCfg
+	cfg.URLs = fleetURLs(survivors)
+	cfg.Seed = seed + 1 // fresh draws so the phase is not a pure replay of warm keys
+	res, err = loadgen.Run(cfg)
+	report.KilledMidRun = !killTimer.Stop()
+	if !report.KilledMidRun {
+		killNode(victim) // run ended before the timer: kill now so teardown is single-path
+	}
+	stopFleet(survivors)
+	if err != nil {
+		return fmt.Errorf("fleet-bench degraded: %w", err)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("fleet-bench degraded: %d request errors — survivors failed requests after the kill", res.Errors)
+	}
+	report.Phases["degraded"] = res
+	fmt.Fprintf(os.Stderr, "fleet-bench degraded (%d of %d nodes, one killed at 200ms, mid-run=%v): %.1f req/s, hit rate %.2f, peer errors %d, 0 request errors\n",
+		len(survivors), fleetNodes, report.KilledMidRun, res.Throughput, res.HitRate, res.PeerErrors)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+func fleetURLs(nodes []*fleetNode) []string {
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.url
+	}
+	return urls
+}

@@ -28,6 +28,8 @@ func main() {
 	serveBench := flag.Bool("serve-bench", false, "benchmark the manirankd serving stack instead of an experiment: replay a Zipf-skewed Mallows workload against an in-process server and print a JSON report (BENCH_<n>.json serving section)")
 	serveRestart := flag.Bool("serve-restart", false, "benchmark warm-restart recovery instead of an experiment: replay one workload against a cold server, a restarted server over the same -cache-dir, and a cold-restart control (BENCH_7.json restart section)")
 	serveChurn := flag.Bool("serve-churn", false, "benchmark streaming sessions instead of an experiment: replay identically seeded edit streams through /v1/session (incremental patches + warm starts) and /v1/aggregate (full rebuilds) across mutation fractions (BENCH_9.json churn section)")
+	serveFleet := flag.Bool("serve-fleet", false, "benchmark a rendezvous-sharded fleet instead of an experiment: boot -fleet-nodes in-process replicas peered over loopback, replay one workload against the fleet, a single-node control, and the fleet with one replica killed mid-load (BENCH_10.json fleet section)")
+	fleetNodes := flag.Int("fleet-nodes", 3, "serve-fleet: replica count")
 	serveRequests := flag.Int("serve-requests", 600, "serve-bench: total requests per skew setting")
 	serveClients := flag.Int("serve-clients", 8, "serve-bench: concurrent closed-loop clients")
 	serveProfiles := flag.Int("serve-profiles", 50, "serve-bench: distinct request bodies (working-set size)")
@@ -54,6 +56,13 @@ func main() {
 	}
 	if *serveChurn {
 		if err := runChurnBench(*seed, *serveRequests, *serveClients, *serveCache); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveFleet {
+		if err := runFleetBench(*seed, *serveRequests, *serveClients, *serveProfiles, *serveCache, *fleetNodes); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

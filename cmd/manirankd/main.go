@@ -47,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"manirank/internal/fleet"
 	"manirank/internal/service"
 	"manirank/internal/service/cache"
 )
@@ -61,6 +62,12 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache TTL (0 = never expire)")
 	cacheDir := flag.String("cache-dir", "", "root a persistent cache tier here: results and matrices survive restarts (empty disables)")
 	cacheEngineVersion := flag.String("cache-engine-version", "", "engine-behaviour version in the persistent cache namespace; bump to invalidate persisted entries (default "+service.DefaultEngineVersion+")")
+	snapshotInterval := flag.Duration("cache-snapshot-interval", 0, "flush memory-resident cache entries to -cache-dir on this period (0 = only on graceful shutdown)")
+	diskMiB := flag.Int("cache-disk-mib", 0, "disk budget for the persistent tier in MiB; oldest-read entries are evicted past it (0 = unbounded)")
+	fleetSelf := flag.String("fleet-self", "", "this node's advertised base URL for fleet peering, e.g. http://10.0.0.1:8080 (empty = single node)")
+	peers := flag.String("peers", "", "comma-separated base URLs of the other fleet replicas")
+	fleetFetchTimeout := flag.Duration("fleet-fetch-timeout", 250*time.Millisecond, "bound on one peer cache read, hedge included")
+	fleetProbeInterval := flag.Duration("fleet-probe-interval", 2*time.Second, "peer liveness probe period")
 	precCacheMiB := flag.Int("prec-cache-mib", 16, "precedence-matrix cache budget in MiB (4 bytes per matrix cell; 0 disables)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request compute deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper bound on client-requested deadlines")
@@ -81,21 +88,54 @@ func main() {
 	if *precCacheMiB > 0 {
 		precCells = int64(*precCacheMiB) << 20 / 4 // int32 cells
 	}
+
+	// Fleet peering (DESIGN.md §13): -fleet-self + -peers shard both cache
+	// tiers across the replica set by rendezvous hashing. The fleet outlives
+	// the server — it is closed after srv.Close so shutdown-time cache
+	// flushes can still route.
+	var ring *fleet.Fleet
+	if *fleetSelf != "" || *peers != "" {
+		if *fleetSelf == "" {
+			fmt.Fprintln(os.Stderr, "manirankd: -peers requires -fleet-self")
+			os.Exit(2)
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		var err error
+		ring, err = fleet.New(fleet.Config{
+			Self:          *fleetSelf,
+			Peers:         peerList,
+			FetchTimeout:  *fleetFetchTimeout,
+			ProbeInterval: *fleetProbeInterval,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "manirankd:", err)
+			os.Exit(2)
+		}
+	}
+
 	srv, err := service.New(service.Config{
-		QueueDepth:      *queue,
-		Workers:         *workers,
-		SolverWorkers:   *solverWorkers,
-		CacheSize:       *cacheSize,
-		CachePolicy:     *cachePolicy,
-		CacheTTL:        *cacheTTL,
-		CacheDir:        *cacheDir,
-		EngineVersion:   *cacheEngineVersion,
-		PrecCacheCells:  precCells,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		MaxSessions:     *maxSessions,
-		TraceSlow:       time.Duration(*traceSlowMS) * time.Millisecond,
-		Logger:          logger,
+		QueueDepth:       *queue,
+		Workers:          *workers,
+		SolverWorkers:    *solverWorkers,
+		CacheSize:        *cacheSize,
+		CachePolicy:      *cachePolicy,
+		CacheTTL:         *cacheTTL,
+		CacheDir:         *cacheDir,
+		EngineVersion:    *cacheEngineVersion,
+		SnapshotInterval: *snapshotInterval,
+		DiskBudgetBytes:  int64(*diskMiB) << 20,
+		Fleet:            ring,
+		PrecCacheCells:   precCells,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		MaxSessions:      *maxSessions,
+		TraceSlow:        time.Duration(*traceSlowMS) * time.Millisecond,
+		Logger:           logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "manirankd:", err)
@@ -138,11 +178,14 @@ func main() {
 			logger.Warn("shutdown", "error", err)
 		}
 		srv.Close()
+		if ring != nil {
+			ring.Close()
+		}
 	}()
 
 	logger.Info("manirankd listening", "addr", *addr, "queue", *queue,
 		"cache_size", *cacheSize, "cache_policy", *cachePolicy, "prec_cache_mib", *precCacheMiB,
-		"cache_dir", *cacheDir)
+		"cache_dir", *cacheDir, "fleet_self", *fleetSelf)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "manirankd:", err)
 		os.Exit(1)

@@ -1,0 +1,98 @@
+package fleet
+
+import "sort"
+
+// Rendezvous (highest-random-weight) hashing assigns every cache key an
+// owner among the fleet's nodes: each (node, key) pair hashes to a weight
+// and the key belongs to the node with the largest one. The assignment is a
+// pure function of the node NAMES and the key — no coordination, no stored
+// ring state, identical on every replica regardless of the order peers were
+// configured in — and when a node joins or leaves, only the keys whose
+// maximum weight involved that node move (~1/N of the space), which is the
+// minimal-disruption property consistent hashing exists for. Rendezvous
+// beats a token ring here because the fleet is small and static-configured:
+// O(N) per lookup is nothing at N ≤ dozens, there are no virtual-node
+// tuning knobs, and balance comes from the hash alone (ring_test.go pins it
+// within a few percent of uniform at 3/5/8 nodes over 10⁵ digests).
+
+// weight scores one (node, key) pair: FNV-1a over both strings with a
+// splitmix64-style finalizer on top. FNV alone is too linear for HRW —
+// nearby keys produce correlated scores across nodes — and the finalizer's
+// avalanche restores independence, which is what the balance guarantee
+// rests on.
+func weight(node, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator: ("ab","c") must not collide with ("a","bc")
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Owner returns the rendezvous owner of key among nodes, ignoring nodes for
+// which eligible returns false (a nil eligible admits every node). It
+// returns "" when no node is eligible. Ties — astronomically unlikely with
+// 64-bit weights but cheap to make deterministic — break toward the
+// lexicographically smaller name, so every replica resolves them
+// identically.
+func Owner(nodes []string, key string, eligible func(string) bool) string {
+	best, bestW, found := "", uint64(0), false
+	for _, n := range nodes {
+		if eligible != nil && !eligible(n) {
+			continue
+		}
+		w := weight(n, key)
+		if !found || w > bestW || (w == bestW && n < best) {
+			best, bestW, found = n, w, true
+		}
+	}
+	return best
+}
+
+// Owners returns up to k eligible nodes in descending rendezvous weight for
+// key — Owners(...)[0] is the owner, [1] the node that inherits the key if
+// the owner leaves (and the hedge target for peer reads). Ordering is
+// deterministic for any input ordering of nodes.
+func Owners(nodes []string, key string, k int, eligible func(string) bool) []string {
+	type scored struct {
+		node string
+		w    uint64
+	}
+	ranked := make([]scored, 0, len(nodes))
+	for _, n := range nodes {
+		if eligible != nil && !eligible(n) {
+			continue
+		}
+		ranked = append(ranked, scored{n, weight(n, key)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].w != ranked[j].w {
+			return ranked[i].w > ranked[j].w
+		}
+		return ranked[i].node < ranked[j].node
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]string, k)
+	for i := range out {
+		out[i] = ranked[i].node
+	}
+	return out
+}

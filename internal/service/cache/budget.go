@@ -1,0 +1,141 @@
+package cache
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"manirank/internal/obs"
+)
+
+// DiskBudget bounds the bytes the persistent tier may hold on disk. One
+// budget spans the whole cache root — both the results and matrices
+// namespaces share it, the same way they share the physical disk — and
+// every attached FileStore (SetBudget) reports its writes and deletes.
+// When usage crosses the limit, the oldest entry files by modification
+// time are evicted until usage falls to 90% of the limit (evicting past
+// the line amortises the directory walk). Get refreshes an entry's mtime,
+// so "oldest" approximates least-recently-used, not least-recently-
+// written.
+//
+// Eviction is safe against every reader: a removed entry simply reads as
+// a miss and recomputes, exactly like an engine-version prune.
+type DiskBudget struct {
+	root  string
+	limit int64
+
+	mu   sync.Mutex
+	used int64
+
+	evictions    obs.Counter
+	bytesEvicted obs.Counter
+}
+
+// NewDiskBudget returns a budget of limit bytes over the store root,
+// initialised from a walk of what is already there (warm restarts start
+// with the truth, not zero).
+func NewDiskBudget(root string, limit int64) *DiskBudget {
+	b := &DiskBudget{root: root, limit: limit}
+	b.used = scanUsage(root)
+	return b
+}
+
+// scanUsage sums the sizes of every entry file under root.
+func scanUsage(root string) int64 {
+	var total int64
+	filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		if info, ierr := d.Info(); ierr == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// Limit returns the configured byte limit.
+func (b *DiskBudget) Limit() int64 { return b.limit }
+
+// Used returns the currently accounted disk usage in bytes.
+func (b *DiskBudget) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Evictions returns the live counter of files evicted under disk
+// pressure, for registry adoption.
+func (b *DiskBudget) Evictions() *obs.Counter { return &b.evictions }
+
+// BytesEvicted returns the live counter of bytes reclaimed by eviction,
+// for registry adoption.
+func (b *DiskBudget) BytesEvicted() *obs.Counter { return &b.bytesEvicted }
+
+// charge records a byte delta (negative for deletes) and evicts when the
+// limit is crossed.
+func (b *DiskBudget) charge(delta int64) {
+	b.mu.Lock()
+	b.used += delta
+	if b.used < 0 {
+		b.used = 0
+	}
+	over := b.limit > 0 && b.used > b.limit
+	b.mu.Unlock()
+	if over {
+		b.evict()
+	}
+}
+
+// evict removes entry files oldest-mtime-first until usage sits at or
+// under 90% of the limit. The walk recomputes usage from the filesystem,
+// so any accounting drift (crashed writes, external deletes) self-heals
+// on every eviction pass.
+func (b *DiskBudget) evict() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	type file struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []file
+	var total int64
+	filepath.WalkDir(b.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		files = append(files, file{p, info.Size(), info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	target := b.limit - b.limit/10
+	for _, f := range files {
+		if total <= target {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			b.evictions.Inc()
+			b.bytesEvicted.Add(uint64(f.size))
+		}
+	}
+	b.used = total
+}
+
+// touch bumps an entry's mtime so budget eviction treats a read as
+// recency — LRU, not FIFO.
+func (b *DiskBudget) touch(path string) {
+	now := time.Now()
+	os.Chtimes(path, now, now)
+}

@@ -65,6 +65,14 @@ type Stats struct {
 	// DiskErrors counts persistent-store failures the cache absorbed
 	// (unreadable, corrupt, or unencodable entries, failed writes).
 	DiskErrors uint64 `json:"disk_errors"`
+	// PeerHits counts Do calls served by a fleet peer fetch (a subset of
+	// Misses; zero without an attached fleet).
+	PeerHits uint64 `json:"peer_hits,omitempty"`
+	// PeerMisses counts peer fetches answered with an authoritative miss.
+	PeerMisses uint64 `json:"peer_misses,omitempty"`
+	// PeerErrors counts peer fetches that failed (timeout, dead peer,
+	// decode failure) and degraded to local compute.
+	PeerErrors uint64 `json:"peer_errors,omitempty"`
 	// Entries is the current number of stored results.
 	Entries int `json:"entries"`
 	// InFlight is the current number of leader computations running.
@@ -150,6 +158,12 @@ type Counters struct {
 	DiskPuts *obs.Counter
 	// DiskErrors counts persistent-store failures the cache absorbed.
 	DiskErrors *obs.Counter
+	// PeerHits counts Do calls served by a fleet peer fetch.
+	PeerHits *obs.Counter
+	// PeerMisses counts peer fetches answered with an authoritative miss.
+	PeerMisses *obs.Counter
+	// PeerErrors counts peer fetches that failed and fell back to compute.
+	PeerErrors *obs.Counter
 }
 
 // newCounters allocates one atomic per counter.
@@ -163,6 +177,9 @@ func newCounters() Counters {
 		DiskHits:    new(obs.Counter),
 		DiskPuts:    new(obs.Counter),
 		DiskErrors:  new(obs.Counter),
+		PeerHits:    new(obs.Counter),
+		PeerMisses:  new(obs.Counter),
+		PeerErrors:  new(obs.Counter),
 	}
 }
 
@@ -323,6 +340,13 @@ func (c *Cache) Sweep() int {
 	return c.sweepLocked(c.now())
 }
 
+// FetchFunc is the fleet hook DoFetch tries after both local tiers miss
+// and before computing: typically a bounded peer read from the key's
+// rendezvous owner. It returns the decoded value on a peer hit, nil on a
+// miss, and asked=false when no fetch was attempted at all (self-owned key,
+// no live peer) so nothing is counted.
+type FetchFunc func(ctx context.Context) (value any, asked bool, err error)
+
 // Do returns the result for key: from the store on a hit, by joining an
 // identical in-flight computation when one exists, by restoring the
 // persisted entry when a Store is attached and holds the key, and otherwise
@@ -339,6 +363,17 @@ func (c *Cache) Sweep() int {
 // disk) rather than a computation; shared reports it came from another
 // caller's computation.
 func (c *Cache) Do(ctx context.Context, key string, compute func() (any, bool, error)) (value any, hit, shared bool, err error) {
+	return c.DoFetch(ctx, key, nil, compute)
+}
+
+// DoFetch is Do with a fleet hook: after the memory and disk tiers miss,
+// the single-flight leader tries fetch (when non-nil) before running
+// compute. A peer hit is admitted and written through exactly like a disk
+// restore — followers and future callers see a normal hit — while a peer
+// miss or error falls through to compute, so a dead peer can slow a request
+// but never fail it. Peer outcomes land in the PeerHits / PeerMisses /
+// PeerErrors counters.
+func (c *Cache) DoFetch(ctx context.Context, key string, fetch FetchFunc, compute func() (any, bool, error)) (value any, hit, shared bool, err error) {
 	endLookup := obs.StartSpan(ctx, "result_lookup")
 	c.mu.Lock()
 	if v, ok := c.lookupLocked(key); ok {
@@ -384,6 +419,15 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, bool, e
 		close(f.done)
 		return v, true, false, nil
 	}
+	if fetch != nil {
+		if v, ok := c.peerFetch(ctx, key, fetch); ok {
+			completed = true
+			// Admit like a disk restore, write through included, so the
+			// entry survives a restart and followers see a plain hit.
+			c.finish(ctx, key, f, v, true, nil)
+			return v, true, false, nil
+		}
+	}
 	v, cacheable, cerr := compute()
 	completed = true
 	c.finish(ctx, key, f, v, cacheable, cerr)
@@ -417,6 +461,82 @@ func (c *Cache) restore(ctx context.Context, key string) (value any, expiry time
 		return nil, time.Time{}, false
 	}
 	return v, expiry, true
+}
+
+// peerFetch runs the fleet hook and classifies its outcome into the peer
+// counters. Only a decoded value counts as a hit; every other outcome sends
+// the leader to compute.
+func (c *Cache) peerFetch(ctx context.Context, key string, fetch FetchFunc) (any, bool) {
+	defer obs.StartSpan(ctx, "result_peer_read")()
+	v, asked, err := fetch(ctx)
+	switch {
+	case !asked:
+		return nil, false
+	case err != nil:
+		c.counters.PeerErrors.Inc()
+		return nil, false
+	case v == nil:
+		c.counters.PeerMisses.Inc()
+		return nil, false
+	default:
+		c.counters.PeerHits.Inc()
+		return v, true
+	}
+}
+
+// Peek returns the live value for key from memory or the persistent store
+// without touching the hit/miss/disk counters — the read path a node serves
+// peer fetches from, which must not distort its own traffic statistics. A
+// disk restore is still admitted to memory (the peer asking is evidence the
+// key is hot on this node's shard).
+func (c *Cache) Peek(ctx context.Context, key string) (any, bool) {
+	c.mu.Lock()
+	if v, ok := c.lookupLocked(key); ok {
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	if v, expiry, ok := c.restore(ctx, key); ok {
+		c.mu.Lock()
+		c.storeLocked(key, v, expiry)
+		c.mu.Unlock()
+		return v, true
+	}
+	return nil, false
+}
+
+// Put admits an externally produced value under key with a fresh TTL,
+// writing through to the persistent store — the receive path for fleet
+// pushes (a non-owner computed this key, or a membership change re-homed
+// it here).
+func (c *Cache) Put(ctx context.Context, key string, value any) {
+	c.mu.Lock()
+	expiry := c.expiryLocked()
+	c.storeLocked(key, value, expiry)
+	var store Store
+	var codec Codec
+	if c.capacity > 0 {
+		store, codec = c.store, c.codec
+	}
+	c.mu.Unlock()
+	if store != nil {
+		c.persist(ctx, store, codec, key, value, expiry)
+	}
+}
+
+// Keys returns the keys of every live in-memory entry — the enumeration
+// re-owned-key warming walks after a membership change.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	out := make([]string, 0, len(c.items))
+	for key, e := range c.items {
+		if !e.expired(now) {
+			out = append(out, key)
+		}
+	}
+	return out
 }
 
 // persist writes one entry through to the store (outside c.mu — encoding and
@@ -505,6 +625,9 @@ func (c *Cache) Stats() Stats {
 		DiskHits:    c.counters.DiskHits.Value(),
 		DiskPuts:    c.counters.DiskPuts.Value(),
 		DiskErrors:  c.counters.DiskErrors.Value(),
+		PeerHits:    c.counters.PeerHits.Value(),
+		PeerMisses:  c.counters.PeerMisses.Value(),
+		PeerErrors:  c.counters.PeerErrors.Value(),
 		Entries:     len(c.items),
 		InFlight:    len(c.flights),
 	}

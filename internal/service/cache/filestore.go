@@ -41,8 +41,9 @@ const fileHeaderLen = 4 + 8 + 8 + 4
 type FileStore struct {
 	dir string // the namespace directory all entries live under
 
-	mu  sync.Mutex
-	now func() time.Time
+	mu     sync.Mutex
+	now    func() time.Time
+	budget *DiskBudget // nil: unbounded
 }
 
 // OpenFileStore opens (creating as needed) the file store rooted at root for
@@ -117,6 +118,23 @@ func (s *FileStore) clock() func() time.Time {
 	return s.now
 }
 
+// SetBudget attaches a disk-usage budget: the store reports every write
+// and delete to it and refreshes entry mtimes on reads so the budget's
+// eviction is recency-ordered. One DiskBudget is typically shared by the
+// results and matrices stores under the same root. Attach before serving
+// traffic.
+func (s *FileStore) SetBudget(b *DiskBudget) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.budget = b
+}
+
+func (s *FileStore) budgetRef() *DiskBudget {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget
+}
+
 // path returns the entry file for key, fanned out over a two-character
 // prefix directory so one flat directory never holds the whole tier.
 func (s *FileStore) path(key string) (string, error) {
@@ -150,14 +168,26 @@ func (s *FileStore) Get(key string) ([]byte, time.Time, bool, error) {
 	}
 	value, expiry, ok := decodeEntry(data)
 	if !ok {
-		os.Remove(p)
+		s.removeCharged(p, int64(len(data)))
 		return nil, time.Time{}, false, nil
 	}
 	if !expiry.IsZero() && !s.clock()().Before(expiry) {
-		os.Remove(p)
+		s.removeCharged(p, int64(len(data)))
 		return nil, time.Time{}, false, nil
 	}
+	if b := s.budgetRef(); b != nil {
+		b.touch(p)
+	}
 	return value, expiry, true, nil
+}
+
+// removeCharged deletes an entry file and refunds its bytes to the budget.
+func (s *FileStore) removeCharged(p string, size int64) {
+	if os.Remove(p) == nil {
+		if b := s.budgetRef(); b != nil {
+			b.charge(-size)
+		}
+	}
 }
 
 // Put implements Store with a temp-file + rename write, atomic on POSIX
@@ -175,7 +205,8 @@ func (s *FileStore) Put(key string, value []byte, expiry time.Time) error {
 	if err != nil {
 		return err
 	}
-	_, werr := tmp.Write(encodeEntry(value, expiry))
+	buf := encodeEntry(value, expiry)
+	_, werr := tmp.Write(buf)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
@@ -184,9 +215,19 @@ func (s *FileStore) Put(key string, value []byte, expiry time.Time) error {
 		}
 		return cerr
 	}
+	var oldSize int64
+	b := s.budgetRef()
+	if b != nil {
+		if info, serr := os.Stat(p); serr == nil {
+			oldSize = info.Size()
+		}
+	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
 		return err
+	}
+	if b != nil {
+		b.charge(int64(len(buf)) - oldSize)
 	}
 	return nil
 }
@@ -197,8 +238,20 @@ func (s *FileStore) Delete(key string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	var size int64
+	if b := s.budgetRef(); b != nil {
+		if info, serr := os.Stat(p); serr == nil {
+			size = info.Size()
+		}
+	}
+	if err := os.Remove(p); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
 		return err
+	}
+	if b := s.budgetRef(); b != nil && size > 0 {
+		b.charge(-size)
 	}
 	return nil
 }
@@ -217,7 +270,7 @@ func (s *FileStore) Scan(fn func(key string, value []byte, expiry time.Time) err
 		}
 		value, expiry, ok := decodeEntry(data)
 		if !ok || (!expiry.IsZero() && !now.Before(expiry)) {
-			os.Remove(p)
+			s.removeCharged(p, int64(len(data)))
 			return nil
 		}
 		return fn(d.Name(), value, expiry)

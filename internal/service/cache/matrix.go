@@ -36,6 +36,14 @@ type MatrixStats struct {
 	DiskPuts uint64 `json:"disk_puts"`
 	// DiskErrors counts persistent-store failures the cache absorbed.
 	DiskErrors uint64 `json:"disk_errors"`
+	// PeerHits counts Do calls served by a fleet peer (fetched matrix or
+	// owner-side remote build; a subset of Misses, zero without a fleet).
+	PeerHits uint64 `json:"peer_hits,omitempty"`
+	// PeerMisses counts peer reads answered with an authoritative miss.
+	PeerMisses uint64 `json:"peer_misses,omitempty"`
+	// PeerErrors counts peer reads that failed and fell back to a local
+	// build.
+	PeerErrors uint64 `json:"peer_errors,omitempty"`
 	// Entries is the current number of stored matrices.
 	Entries int `json:"entries"`
 	// CostUsed is the summed cost of the stored matrices (precedence
@@ -120,12 +128,19 @@ type MatrixCounters struct {
 	DiskPuts *obs.Counter
 	// DiskErrors counts persistent-store failures the cache absorbed.
 	DiskErrors *obs.Counter
+	// PeerHits counts Do calls served by a fleet peer.
+	PeerHits *obs.Counter
+	// PeerMisses counts peer reads answered with an authoritative miss.
+	PeerMisses *obs.Counter
+	// PeerErrors counts peer reads that failed and fell back to a build.
+	PeerErrors *obs.Counter
 }
 
 // BuildsSkipped derives the tier's reason to exist: Do calls that
-// returned a matrix without running the builder.
+// returned a matrix without running the builder on this node (a peer hit
+// skips the local build even though the owner paid one somewhere).
 func (m MatrixCounters) BuildsSkipped() uint64 {
-	return m.Hits.Value() + m.Coalesced.Value() + m.DiskHits.Value()
+	return m.Hits.Value() + m.Coalesced.Value() + m.DiskHits.Value() + m.PeerHits.Value()
 }
 
 // NewMatrixCache returns a matrix cache with the given cost budget (for
@@ -149,6 +164,9 @@ func NewMatrixCache(budget int64) *MatrixCache {
 			DiskHits:   new(obs.Counter),
 			DiskPuts:   new(obs.Counter),
 			DiskErrors: new(obs.Counter),
+			PeerHits:   new(obs.Counter),
+			PeerMisses: new(obs.Counter),
+			PeerErrors: new(obs.Counter),
 		},
 	}
 }
@@ -181,9 +199,25 @@ func (c *MatrixCache) AttachStore(s Store, codec Codec, cost func(value any) int
 // not cancelled (it is bounded compute whose result every future request
 // wants). If build panics, followers fail with a dedicated sentinel error.
 //
+// MatrixFetchFunc is the fleet hook DoFetch tries between the disk tier
+// and a local build: a bounded peer read (or remote owner-side build) of
+// the serialized matrix. It returns the decoded value and its admission
+// cost on a peer hit, nil on a miss, and asked=false when no peer was
+// consulted at all.
+type MatrixFetchFunc func(ctx context.Context) (value any, cost int64, asked bool, err error)
+
 // hit reports the value came from the store (memory or disk); shared
 // reports it came from another caller's build.
 func (c *MatrixCache) Do(ctx context.Context, key string, build func() (value any, cost int64, err error)) (value any, hit, shared bool, err error) {
+	return c.DoFetch(ctx, key, nil, build)
+}
+
+// DoFetch is Do with a fleet hook: after memory and disk miss, the
+// single-flight leader tries fetch (when non-nil) before paying the
+// O(n²·m) construction. A peer-fetched matrix is admitted and written
+// through like a disk restore; a miss or error degrades to the local
+// build. Outcomes land in PeerHits / PeerMisses / PeerErrors.
+func (c *MatrixCache) DoFetch(ctx context.Context, key string, fetch MatrixFetchFunc, build func() (value any, cost int64, err error)) (value any, hit, shared bool, err error) {
 	endLookup := obs.StartSpan(ctx, "matrix_lookup")
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
@@ -231,12 +265,90 @@ func (c *MatrixCache) Do(ctx context.Context, key string, build func() (value an
 		close(f.done)
 		return v, true, false, nil
 	}
+	if fetch != nil {
+		if v, cost, ok := c.peerFetch(ctx, key, fetch); ok {
+			completed = true
+			var (
+				store Store
+				codec Codec
+			)
+			c.mu.Lock()
+			c.storeLocked(key, v, cost)
+			if c.budget > 0 {
+				store, codec = c.store, c.codec
+			}
+			delete(c.flights, key)
+			c.mu.Unlock()
+			// Write through like a restore-from-elsewhere: the next restart
+			// of THIS node should not need the peer again.
+			if store != nil {
+				c.persist(ctx, store, codec, key, v)
+			}
+			f.value = v
+			close(f.done)
+			return v, true, false, nil
+		}
+	}
 	endBuild := obs.StartSpan(ctx, "matrix_build")
 	v, cost, berr := build()
 	endBuild()
 	completed = true
 	c.finish(ctx, key, f, v, cost, true, berr)
 	return v, false, false, berr
+}
+
+// peerFetch runs the fleet hook and classifies its outcome into the peer
+// counters.
+func (c *MatrixCache) peerFetch(ctx context.Context, key string, fetch MatrixFetchFunc) (any, int64, bool) {
+	defer obs.StartSpan(ctx, "matrix_peer_read")()
+	v, cost, asked, err := fetch(ctx)
+	switch {
+	case !asked:
+		return nil, 0, false
+	case err != nil:
+		c.counters.PeerErrors.Inc()
+		return nil, 0, false
+	case v == nil:
+		c.counters.PeerMisses.Inc()
+		return nil, 0, false
+	default:
+		c.counters.PeerHits.Inc()
+		return v, cost, true
+	}
+}
+
+// Peek returns the stored matrix for key from memory or the persistent
+// store without touching the hit/miss/disk counters — the read path a node
+// serves peer fetches from. A disk restore is admitted to memory at the
+// attached cost function's price.
+func (c *MatrixCache) Peek(ctx context.Context, key string) (any, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*matrixEntry).value
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	if v, ok := c.restore(ctx, key); ok {
+		c.mu.Lock()
+		c.storeLocked(key, v, c.cost(v))
+		c.mu.Unlock()
+		return v, true
+	}
+	return nil, false
+}
+
+// Keys returns the keys of every resident matrix — the enumeration
+// re-owned-key warming walks after a membership change.
+func (c *MatrixCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.items))
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*matrixEntry).key)
+	}
+	return out
 }
 
 // Put admits an externally produced value for key — the write path for
@@ -420,6 +532,9 @@ func (c *MatrixCache) Stats() MatrixStats {
 		DiskHits:      c.counters.DiskHits.Value(),
 		DiskPuts:      c.counters.DiskPuts.Value(),
 		DiskErrors:    c.counters.DiskErrors.Value(),
+		PeerHits:      c.counters.PeerHits.Value(),
+		PeerMisses:    c.counters.PeerMisses.Value(),
+		PeerErrors:    c.counters.PeerErrors.Value(),
 		Entries:       len(c.items),
 		CostUsed:      c.used,
 		CostBudget:    c.budget,

@@ -35,6 +35,13 @@ import (
 type Config struct {
 	// URL is the server base URL, e.g. "http://127.0.0.1:8080".
 	URL string
+	// URLs optionally spreads the workload across a fleet of replicas:
+	// request i from client c goes to URLs[(c+i) % len(URLs)], so every node
+	// sees a share of every popularity band — the shape a round-robin load
+	// balancer in front of a manirankd fleet produces. When set it overrides
+	// URL; the end-of-run counter scrape visits every node and the Result
+	// gains fleet-wide totals plus per-node columns.
+	URLs []string
 	// Clients is the number of concurrent closed-loop requesters (default 8).
 	Clients int
 	// Requests is the total request count across all clients (default 400).
@@ -102,6 +109,11 @@ func (c Config) withDefaults() Config {
 	if c.Mode == "" {
 		c.Mode = "stateless"
 	}
+	if len(c.URLs) == 0 {
+		c.URLs = []string{c.URL}
+	} else {
+		c.URL = c.URLs[0]
+	}
 	return c
 }
 
@@ -151,6 +163,32 @@ type Result struct {
 	ChurnFraction float64 `json:"churn_fraction,omitempty"`
 	Mutations     int     `json:"mutations,omitempty"`
 	WarmStarted   int     `json:"warm_started,omitempty"`
+	// The fleet columns (multi-URL runs, BENCH_10): peer-cache traffic summed
+	// across the replicas, and one row per node pairing its locally measured
+	// hit rate with its own Che prediction. In a fleet run the top-level
+	// Predicted/Drift columns are the across-node mean, against the
+	// client-observed fleet-wide HitRate; MatrixBuilds is the fleet total —
+	// with per-ring single-compute it should approximate the number of
+	// distinct profiles, not distinct profiles × nodes.
+	ResultPeerHits uint64       `json:"result_peer_hits,omitempty"`
+	MatrixPeerHits uint64       `json:"matrix_peer_hits,omitempty"`
+	PeerErrors     uint64       `json:"peer_errors,omitempty"`
+	Nodes          []NodeResult `json:"nodes,omitempty"`
+}
+
+// NodeResult is one replica's view of a fleet run: its share of the traffic,
+// what its local tiers absorbed, and how its online Che approximation
+// tracked the hit rate it actually measured.
+type NodeResult struct {
+	URL              string  `json:"url"`
+	HitRate          float64 `json:"hit_rate"`
+	PredictedHitRate float64 `json:"predicted_hit_rate"`
+	HitRateDrift     float64 `json:"hit_rate_drift"`
+	MatrixBuilds     uint64  `json:"matrix_builds"`
+	ResultPeerHits   uint64  `json:"result_peer_hits"`
+	ResultPeerMisses uint64  `json:"result_peer_misses"`
+	MatrixPeerHits   uint64  `json:"matrix_peer_hits"`
+	PeerErrors       uint64  `json:"peer_errors"`
 }
 
 // buildPool generates the distinct request bodies, pre-marshalled once —
@@ -336,8 +374,9 @@ func Run(cfg Config) (Result, error) {
 				// Single-method runs draw exactly the BENCH_3 request stream
 				// (profile picks only), keeping per-PR hit rates comparable.
 				body := pool[pick()][m]
+				url := cfg.URLs[(c+i)%len(cfg.URLs)]
 				reqStart := time.Now()
-				resp, err := client.Post(cfg.URL+"/v1/aggregate", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(url+"/v1/aggregate", "application/json", bytes.NewReader(body))
 				if err != nil {
 					mu.Lock()
 					errs++
@@ -394,28 +433,65 @@ func collectResult(cfg Config, total, errs, rejected, hits, coalesced int, laten
 		res.P50LatencyMS = latencies[(n-1)*50/100]
 		res.P99LatencyMS = latencies[(n-1)*99/100]
 	}
-	st, err := fetchStatz(cfg.URL)
-	if err != nil {
-		// The workload completed; losing the per-tier columns silently would
-		// record zeroed bench data, so fail loudly alongside the partial
-		// result.
-		return res, fmt.Errorf("loadgen: fetching statz after the run: %w", err)
+	var (
+		matrixHits, matrixMisses uint64
+		predSum, matrixPredSum   float64
+		merged                   = map[string]float64{}
+	)
+	for _, url := range cfg.URLs {
+		st, err := fetchStatz(url)
+		if err != nil {
+			// The workload completed; losing the per-tier columns silently
+			// would record zeroed bench data, so fail loudly alongside the
+			// partial result.
+			return res, fmt.Errorf("loadgen: fetching statz after the run: %w", err)
+		}
+		samples, err := fetchMetrics(url)
+		if err != nil {
+			return res, fmt.Errorf("loadgen: scraping metricsz after the run: %w", err)
+		}
+		if res.Policy == "" {
+			res.Policy = st.Cache.Policy
+		}
+		res.MatrixBuilds += st.Matrix.Builds
+		res.MatrixBuildsSkipped += st.Matrix.BuildsSkipped
+		res.ResultDiskHits += st.Cache.DiskHits
+		res.MatrixDiskHits += st.Matrix.DiskHits
+		res.ResultPeerHits += st.Cache.PeerHits
+		res.MatrixPeerHits += st.Matrix.PeerHits
+		res.PeerErrors += st.Cache.PeerErrors + st.Matrix.PeerErrors
+		matrixHits += st.Matrix.Hits
+		matrixMisses += st.Matrix.Misses
+		// Stage histograms merge exactly: sums add and counts add, so the
+		// reduced means stay observation-weighted across the fleet.
+		for series, v := range samples {
+			merged[series] += v
+		}
+		pred := samples[`manirank_cache_hit_rate_predicted{tier="result"}`]
+		predSum += pred
+		matrixPredSum += samples[`manirank_cache_hit_rate_predicted{tier="matrix"}`]
+		if len(cfg.URLs) > 1 {
+			res.Nodes = append(res.Nodes, NodeResult{
+				URL:              url,
+				HitRate:          st.Cache.HitRate(),
+				PredictedHitRate: pred,
+				HitRateDrift:     st.Cache.HitRate() - pred,
+				MatrixBuilds:     st.Matrix.Builds,
+				ResultPeerHits:   st.Cache.PeerHits,
+				ResultPeerMisses: st.Cache.PeerMisses,
+				MatrixPeerHits:   st.Matrix.PeerHits,
+				PeerErrors:       st.Cache.PeerErrors + st.Matrix.PeerErrors,
+			})
+		}
 	}
-	res.Policy = st.Cache.Policy
-	res.MatrixBuilds = st.Matrix.Builds
-	res.MatrixBuildsSkipped = st.Matrix.BuildsSkipped
-	res.MatrixHitRate = st.Matrix.HitRate()
-	res.ResultDiskHits = st.Cache.DiskHits
-	res.MatrixDiskHits = st.Matrix.DiskHits
-	samples, err := fetchMetrics(cfg.URL)
-	if err != nil {
-		return res, fmt.Errorf("loadgen: scraping metricsz after the run: %w", err)
+	if total := matrixHits + matrixMisses; total > 0 {
+		res.MatrixHitRate = float64(matrixHits) / float64(total)
 	}
-	res.StageMeanMS = stageMeans(samples)
-	res.PredictedHitRate = samples[`manirank_cache_hit_rate_predicted{tier="result"}`]
-	res.HitRateDrift = samples[`manirank_cache_hit_rate_drift{tier="result"}`]
-	res.MatrixPredictedHitRate = samples[`manirank_cache_hit_rate_predicted{tier="matrix"}`]
-	res.MatrixHitRateDrift = samples[`manirank_cache_hit_rate_drift{tier="matrix"}`]
+	res.StageMeanMS = stageMeans(merged)
+	res.PredictedHitRate = predSum / float64(len(cfg.URLs))
+	res.HitRateDrift = res.HitRate - res.PredictedHitRate
+	res.MatrixPredictedHitRate = matrixPredSum / float64(len(cfg.URLs))
+	res.MatrixHitRateDrift = res.MatrixHitRate - res.MatrixPredictedHitRate
 	return res, nil
 }
 

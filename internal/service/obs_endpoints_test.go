@@ -75,6 +75,16 @@ func TestMetricszStatzCrossCheck(t *testing.T) {
 	if status, _ := post(t, ts.URL, req2); status != http.StatusOK {
 		t.Fatalf("status %d", status)
 	}
+	// Session traffic so the PR 9 series cross-check covers live counters,
+	// not just pre-registered zeros. The session stays open: the active
+	// gauge must agree while non-zero.
+	status, created := createSession(t, ts.URL, testRequest("borda", 33))
+	if status != http.StatusOK {
+		t.Fatalf("session create: status %d", status)
+	}
+	if status, _ := postOp(t, ts.URL, created.SessionID, &SessionOp{Op: "solve"}); status != http.StatusOK {
+		t.Fatalf("session solve: status %d", status)
+	}
 
 	var st Statz
 	resp, err := http.Get(ts.URL + "/statz")
@@ -106,6 +116,19 @@ func TestMetricszStatzCrossCheck(t *testing.T) {
 		"manirank_workers":                                float64(st.Queue.Workers),
 		`manirank_cache_entries{tier="result"}`:           float64(st.Cache.Entries),
 		`manirank_cache_entries{tier="matrix"}`:           float64(st.Matrix.Entries),
+		`manirank_cache_peer_hits_total{tier="result"}`:   float64(st.Cache.PeerHits),
+		`manirank_cache_peer_misses_total{tier="result"}`: float64(st.Cache.PeerMisses),
+		`manirank_cache_peer_errors_total{tier="result"}`: float64(st.Cache.PeerErrors),
+		`manirank_cache_peer_hits_total{tier="matrix"}`:   float64(st.Matrix.PeerHits),
+		`manirank_cache_peer_misses_total{tier="matrix"}`: float64(st.Matrix.PeerMisses),
+		`manirank_cache_peer_errors_total{tier="matrix"}`: float64(st.Matrix.PeerErrors),
+		"manirank_sessions_active":                        float64(st.Sessions.Active),
+	}
+	// The session op family: /metricsz exposes every pre-registered op
+	// (zeros included); /statz omits ops with no traffic, which a zero map
+	// read reproduces exactly.
+	for _, op := range sessionOpNames {
+		checks[`manirank_session_ops_total{op="`+op+`"}`] = float64(st.Sessions.Ops[op])
 	}
 	for series, want := range checks {
 		got, ok := m[series]
@@ -118,6 +141,9 @@ func TestMetricszStatzCrossCheck(t *testing.T) {
 	}
 	if st.Cache.Hits == 0 || st.Matrix.BuildsSkipped == 0 {
 		t.Fatalf("workload did not exercise both tiers: %+v / %+v", st.Cache, st.Matrix)
+	}
+	if st.Sessions.Active != 1 || st.Sessions.Ops["create"] == 0 || st.Sessions.Ops["solve"] == 0 {
+		t.Fatalf("session traffic not recorded: %+v", st.Sessions)
 	}
 	// Histograms: count of solved requests must match the /statz latency
 	// count, and hit rates must agree within float rendering.
@@ -167,6 +193,7 @@ var requestStages = map[string]bool{
 	"result_disk_read": true, "result_disk_write": true,
 	"matrix_lookup": true, "matrix_wait": true, "matrix_build": true,
 	"matrix_disk_read": true, "matrix_disk_write": true,
+	"result_peer_read": true, "matrix_peer_read": true,
 	"solve": true, "encode": true,
 }
 

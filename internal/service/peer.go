@@ -1,0 +1,391 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"manirank/internal/fleet"
+	"manirank/internal/ranking"
+	"manirank/internal/service/cache"
+)
+
+// This file is the serving side of the fleet (DESIGN.md §13): the
+// /internal/v1/peer/{results|matrices}/{digest} handlers a replica answers
+// ring mates on, the cache fetch hooks that consult a digest's rendezvous
+// owner before computing locally, the after-compute push that homes a
+// non-owner's result with its owner, and the bounded re-owned-key warming
+// that runs on membership change.
+//
+// The peer API is internal by construction — it trusts its callers the way
+// the file store trusts the filesystem — with two cheap integrity gates:
+// every request carries the sender's cache namespace (412 on mismatch, so
+// replicas on different engine versions can never exchange entries), and a
+// posted profile must hash to the digest it claims (400 otherwise), so a
+// confused client cannot poison the matrix tier.
+
+// peerPushConcurrency bounds concurrent background pushes (after-compute
+// homing and re-owned-key warming share the budget).
+const peerPushConcurrency = 4
+
+// handlePeer serves the peer cache protocol:
+//
+//	GET  /internal/v1/peer/{kind}/{digest}  -> 200 entry bytes | 404 authoritative miss
+//	PUT  /internal/v1/peer/{kind}/{digest}  -> 204 entry admitted
+//	POST /internal/v1/peer/matrices/{digest} (profile JSON) -> 200 matrix bytes,
+//	     built under this node's single-flight — the per-ring single-compute path.
+//
+// Reads go through Peek, which serves memory and disk without moving this
+// node's own hit/miss counters: a peer's traffic is accounted on the peer.
+func (s *Server) handlePeer(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		http.NotFound(w, r)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, fleet.PathPrefix)
+	kind, digest, ok := strings.Cut(rest, "/")
+	if !ok || digest == "" || strings.Contains(digest, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	if ns := r.Header.Get(fleet.NamespaceHeader); ns != s.fleet.Namespace() {
+		http.Error(w, fmt.Sprintf("cache namespace %q does not match %q", ns, s.fleet.Namespace()),
+			http.StatusPreconditionFailed)
+		return
+	}
+	switch kind {
+	case fleet.KindResults:
+		s.handlePeerResult(w, r, digest)
+	case fleet.KindMatrices:
+		s.handlePeerMatrix(w, r, digest)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) handlePeerResult(w http.ResponseWriter, r *http.Request, digest string) {
+	switch r.Method {
+	case http.MethodGet:
+		v, ok := s.cache.Peek(r.Context(), digest)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		data, err := resultCodec().Encode(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, err := resultCodec().Decode(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Partial results are never cached locally; the same rule holds for
+		// pushed entries regardless of what the sender thought.
+		if res, ok := v.(*result); !ok || res.Partial {
+			http.Error(w, "partial results are not cacheable", http.StatusBadRequest)
+			return
+		}
+		s.cache.Put(r.Context(), digest, v)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "use GET or PUT", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handlePeerMatrix(w http.ResponseWriter, r *http.Request, digest string) {
+	switch r.Method {
+	case http.MethodGet:
+		v, ok := s.prec.Peek(r.Context(), digest)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		data, err := matrixCodec().Encode(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, err := matrixCodec().Decode(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.prec.Put(r.Context(), digest, v, matrixCost(v))
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodPost:
+		s.handlePeerBuild(w, r, digest)
+	default:
+		http.Error(w, "use GET, PUT, or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+// handlePeerBuild builds (or serves) the precedence matrix of the posted
+// profile under this node's matrix tier — including its single-flight, so
+// a stampede of non-owners asking for one unseen profile still pays one
+// construction ring-wide. The profile must hash to the digest it was posted
+// under: the digest is the cache key every replica will trust forever, so
+// it is verified here, not assumed.
+func (s *Server) handlePeerBuild(w http.ResponseWriter, r *http.Request, digest string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var rows [][]int
+	if err := json.Unmarshal(body, &rows); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	profile := make(ranking.Profile, len(rows))
+	for i, row := range rows {
+		profile[i] = row
+	}
+	if got := profile.Digest(digestVersion + "/profile"); got != digest {
+		http.Error(w, fmt.Sprintf("profile hashes to %s, not %s", got, digest), http.StatusBadRequest)
+		return
+	}
+	// The owner's tier sees its shard's demand here exactly as if the
+	// request had arrived on its own front door, popularity model included.
+	s.cheMatrix.Observe(digest)
+	v, _, _, err := s.prec.Do(r.Context(), digest, func() (any, int64, error) {
+		w, err := ranking.NewPrecedence(profile)
+		if err != nil {
+			return nil, 0, err
+		}
+		return w, w.Cells(), nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data, err := matrixCodec().Encode(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// resultFetch returns the result tier's fleet hook for digest, or nil
+// without a fleet. The hook asks the digest's owner (hedged to the
+// runner-up) only when this node does not own the digest itself.
+func (s *Server) resultFetch(digest string) cache.FetchFunc {
+	if s.fleet == nil {
+		return nil
+	}
+	return func(ctx context.Context) (any, bool, error) {
+		if _, self := s.fleet.Route(digest); self {
+			return nil, false, nil
+		}
+		payload, found, err := s.fleet.Fetch(ctx, fleet.KindResults, digest)
+		if errors.Is(err, fleet.ErrNoPeer) {
+			return nil, false, nil
+		}
+		if err != nil {
+			return nil, true, err
+		}
+		if !found {
+			return nil, true, nil
+		}
+		v, err := resultCodec().Decode(payload)
+		if err != nil {
+			return nil, true, err
+		}
+		return v, true, nil
+	}
+}
+
+// matrixFetch returns the matrix tier's fleet hook for pb, or nil without a
+// fleet. Where the result hook stops at an authoritative miss, the matrix
+// hook escalates: on a 404 from the owner it POSTs the profile so the OWNER
+// builds (under its own single-flight) and returns the serialized matrix —
+// per-node single-flight extended into per-ring single-compute. Every
+// failure degrades to a local build.
+func (s *Server) matrixFetch(pb *problem) cache.MatrixFetchFunc {
+	if s.fleet == nil {
+		return nil
+	}
+	return func(ctx context.Context) (any, int64, bool, error) {
+		owner, self := s.fleet.Route(pb.profDigest)
+		if self {
+			return nil, 0, false, nil
+		}
+		payload, found, err := s.fleet.Fetch(ctx, fleet.KindMatrices, pb.profDigest)
+		if errors.Is(err, fleet.ErrNoPeer) {
+			return nil, 0, false, nil
+		}
+		if err != nil {
+			return nil, 0, true, err
+		}
+		if !found {
+			profJSON, merr := json.Marshal(pb.profile)
+			if merr != nil {
+				return nil, 0, true, merr
+			}
+			payload, err = s.fleet.BuildMatrix(ctx, owner, pb.profDigest, profJSON)
+			if err != nil {
+				return nil, 0, true, err
+			}
+		}
+		v, err := matrixCodec().Decode(payload)
+		if err != nil {
+			return nil, 0, true, err
+		}
+		w := v.(*ranking.Precedence)
+		return w, w.Cells(), true, nil
+	}
+}
+
+// pushResult homes a locally computed result with its ring owner in the
+// background, so the next node that misses on this digest finds it where
+// the ring says to look. Best effort and bounded: when the push budget is
+// saturated the entry simply stays local (write-through still persisted it
+// here).
+func (s *Server) pushResult(digest string, res *result) {
+	if s.fleet == nil || res.Partial {
+		return
+	}
+	owner, self := s.fleet.Route(digest)
+	if self {
+		return
+	}
+	data, err := resultCodec().Encode(res)
+	if err != nil {
+		return
+	}
+	select {
+	case s.pushSem <- struct{}{}:
+	default:
+		return // saturated: skip, never block a request path
+	}
+	go func() {
+		defer func() { <-s.pushSem }()
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultDeadline)
+		defer cancel()
+		s.fleet.Push(ctx, owner, fleet.KindResults, digest, data)
+	}()
+}
+
+// warmReowned runs after every membership change: it walks this node's
+// resident keys in both tiers and pushes the entries whose rendezvous owner
+// is now a DIFFERENT alive node to that owner, capped at the fleet's
+// WarmLimit and bounded by the shared push budget. This is the stampede
+// protection: when a node joins (or a dead one returns), the keys it now
+// owns arrive as pushed entries from the replicas that served them so far,
+// instead of every one being rebuilt on first touch; when a node dies, its
+// keys re-home to runners-up the same way from wherever they are resident.
+func (s *Server) warmReowned() {
+	f := s.fleet
+	limit := f.WarmLimit()
+	if limit <= 0 {
+		return
+	}
+	epoch := f.Epoch()
+	warmed := 0
+	push := func(kind, key string, encode func() ([]byte, bool)) bool {
+		if warmed >= limit {
+			return false
+		}
+		owner, self := f.Route(key)
+		if self {
+			return true
+		}
+		data, ok := encode()
+		if !ok {
+			return true
+		}
+		warmed++
+		s.peerWarms.Inc()
+		s.pushSem <- struct{}{} // block: warming is background work, shedding it defeats it
+		go func() {
+			defer func() { <-s.pushSem }()
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultDeadline)
+			defer cancel()
+			f.Push(ctx, owner, kind, key, data)
+		}()
+		return true
+	}
+	ctx := context.Background()
+	for _, key := range s.prec.Keys() {
+		if !push(fleet.KindMatrices, key, func() ([]byte, bool) {
+			v, ok := s.prec.Peek(ctx, key)
+			if !ok {
+				return nil, false
+			}
+			data, err := matrixCodec().Encode(v)
+			return data, err == nil
+		}) {
+			break
+		}
+	}
+	for _, key := range s.cache.Keys() {
+		if !push(fleet.KindResults, key, func() ([]byte, bool) {
+			v, ok := s.cache.Peek(ctx, key)
+			if !ok {
+				return nil, false
+			}
+			res, isRes := v.(*result)
+			if !isRes || res.Partial {
+				return nil, false
+			}
+			data, err := resultCodec().Encode(v)
+			return data, err == nil
+		}) {
+			break
+		}
+	}
+	if warmed > 0 {
+		s.log.Info("fleet warm push", "epoch", epoch, "entries", warmed, "limit", limit)
+	}
+}
+
+// FleetStatz is the /statz fleet section.
+type FleetStatz struct {
+	// Self is this node's advertised base URL.
+	Self string `json:"self"`
+	// Epoch is the membership epoch (bumps on every alive-set change).
+	Epoch uint64 `json:"epoch"`
+	// Nodes is the configured fleet size, self included.
+	Nodes int `json:"nodes"`
+	// Alive is the currently-alive node count, self included.
+	Alive int `json:"alive"`
+	// Peers is the per-peer liveness table.
+	Peers []fleet.PeerStatus `json:"peers"`
+}
+
+// fleetStatz assembles the /statz fleet section (nil without a fleet).
+func (s *Server) fleetStatz() *FleetStatz {
+	if s.fleet == nil {
+		return nil
+	}
+	return &FleetStatz{
+		Self:  s.fleet.Self(),
+		Epoch: s.fleet.Epoch(),
+		Nodes: len(s.fleet.Nodes()),
+		Alive: len(s.fleet.Alive()),
+		Peers: s.fleet.PeerStatuses(),
+	}
+}

@@ -45,6 +45,7 @@ import (
 
 	"manirank"
 	"manirank/internal/aggregate"
+	"manirank/internal/fleet"
 	"manirank/internal/kemeny"
 	"manirank/internal/obs"
 	"manirank/internal/ranking"
@@ -86,6 +87,22 @@ type Config struct {
 	// when solver behaviour changes: every entry persisted under the old
 	// version becomes unreachable. Ignored without CacheDir.
 	EngineVersion string
+	// SnapshotInterval, when positive and CacheDir is set, flushes both
+	// memory tiers to the persistent store on this period — so a crash
+	// loses at most one interval of residents whose write-through failed,
+	// not everything since the last graceful shutdown.
+	SnapshotInterval time.Duration
+	// DiskBudgetBytes, when positive and CacheDir is set, bounds the bytes
+	// the persistent tier may hold across both namespaces; the oldest-read
+	// entry files are evicted when the budget is crossed (cache.DiskBudget).
+	// Zero leaves the disk tier unbounded (the pre-fleet behaviour).
+	DiskBudgetBytes int64
+	// Fleet, when non-nil, shards both cache tiers across the configured
+	// replica set by rendezvous hashing (DESIGN.md §13): local misses
+	// peer-fetch from the digest's owner before computing, matrix builds
+	// route to the owner, and the /internal/v1/peer/ handlers are mounted.
+	// The caller keeps ownership: close the fleet after Server.Close.
+	Fleet *fleet.Fleet
 	// PrecCacheCells budgets the precedence-matrix tier in matrix cells (a
 	// profile over n candidates costs n² cells ≈ 4n² bytes). Default
 	// DefaultPrecCacheCells; negative disables storage (builds still
@@ -258,6 +275,13 @@ type Server struct {
 	cheMatrix   *obs.CheEstimator         // matrix-tier popularity model
 	sessionOps  map[string]*obs.Counter   // session operations by op
 	closeOnce   sync.Once
+
+	// Fleet peering (peer.go): nil on a single node. pushSem bounds the
+	// background pushes (after-compute homing + re-owned warming).
+	fleet           *fleet.Fleet
+	pushSem         chan struct{}
+	peerWarms       *obs.Counter // entries pushed by re-owned-key warming
+	snapshotFlushes *obs.Counter // background snapshot ticks completed
 }
 
 // New starts a Server's worker pool and returns it. It fails on an unknown
@@ -280,6 +304,8 @@ func New(cfg Config) (*Server, error) {
 		cheResult: obs.NewCheEstimator(),
 		cheMatrix: obs.NewCheEstimator(),
 		sessions:  make(map[string]*session),
+		fleet:     cfg.Fleet,
+		pushSem:   make(chan struct{}, peerPushConcurrency),
 	}
 	s.initObs()
 	if cfg.CacheDir != "" {
@@ -293,10 +319,35 @@ func New(cfg Config) (*Server, error) {
 			rs.Close()
 			return nil, err
 		}
+		if cfg.DiskBudgetBytes > 0 {
+			budget := cache.NewDiskBudget(cfg.CacheDir, cfg.DiskBudgetBytes)
+			rs.SetBudget(budget)
+			ms.SetBudget(budget)
+			s.reg.GaugeFunc("manirank_cache_disk_used_bytes",
+				"bytes held by the persistent tier under the disk budget",
+				func() float64 { return float64(budget.Used()) })
+			s.reg.GaugeFunc("manirank_cache_disk_budget_bytes",
+				"configured persistent-tier byte budget",
+				func() float64 { return float64(budget.Limit()) })
+			s.reg.RegisterCounter("manirank_cache_disk_evictions_total",
+				"entry files evicted under disk pressure", budget.Evictions())
+			s.reg.RegisterCounter("manirank_cache_disk_evicted_bytes_total",
+				"bytes reclaimed by disk eviction", budget.BytesEvicted())
+		}
 		s.cache.AttachStore(rs, resultCodec())
 		s.prec.AttachStore(ms, matrixCodec(), matrixCost)
 		s.stores = append(s.stores, rs, ms)
 		s.log.Info("persistent cache tier attached", "dir", cfg.CacheDir, "namespace", ns)
+		if cfg.SnapshotInterval > 0 {
+			s.wg.Add(1)
+			go s.snapshotter(cfg.SnapshotInterval)
+		}
+	}
+	if s.fleet != nil {
+		s.fleet.SetNamespace(CacheNamespace(cfg.EngineVersion))
+		s.fleet.OnChange(s.warmReowned)
+		s.log.Info("fleet peering attached",
+			"self", s.fleet.Self(), "nodes", len(s.fleet.Nodes()))
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -318,8 +369,8 @@ func New(cfg Config) (*Server, error) {
 // trace-only: they are per-request diagnostics, not bounded stage series.
 var traceStages = []string{
 	"queue",
-	"result_lookup", "result_wait", "result_disk_read", "result_disk_write",
-	"matrix_lookup", "matrix_wait", "matrix_build", "matrix_disk_read", "matrix_disk_write",
+	"result_lookup", "result_wait", "result_disk_read", "result_disk_write", "result_peer_read",
+	"matrix_lookup", "matrix_wait", "matrix_build", "matrix_disk_read", "matrix_disk_write", "matrix_peer_read",
 	"solve", "encode",
 }
 
@@ -410,6 +461,9 @@ func (s *Server) initObs() {
 	r.RegisterCounter("manirank_cache_disk_hits_total", "lookups served by the persistent tier per tier", rc.DiskHits, res)
 	r.RegisterCounter("manirank_cache_disk_puts_total", "successful persistent write-throughs per tier", rc.DiskPuts, res)
 	r.RegisterCounter("manirank_cache_disk_errors_total", "persistent-tier failures absorbed per tier", rc.DiskErrors, res)
+	r.RegisterCounter("manirank_cache_peer_hits_total", "lookups served by a fleet peer per tier", rc.PeerHits, res)
+	r.RegisterCounter("manirank_cache_peer_misses_total", "peer fetches answered with an authoritative miss per tier", rc.PeerMisses, res)
+	r.RegisterCounter("manirank_cache_peer_errors_total", "peer fetches that failed and fell back to compute per tier", rc.PeerErrors, res)
 	s.cache.SetSizer(resultSizer)
 
 	// Matrix tier: same families under tier="matrix", plus its build axis.
@@ -422,6 +476,9 @@ func (s *Server) initObs() {
 	r.RegisterCounter("manirank_cache_disk_hits_total", "lookups served by the persistent tier per tier", mc.DiskHits, mat)
 	r.RegisterCounter("manirank_cache_disk_puts_total", "successful persistent write-throughs per tier", mc.DiskPuts, mat)
 	r.RegisterCounter("manirank_cache_disk_errors_total", "persistent-tier failures absorbed per tier", mc.DiskErrors, mat)
+	r.RegisterCounter("manirank_cache_peer_hits_total", "lookups served by a fleet peer per tier", mc.PeerHits, mat)
+	r.RegisterCounter("manirank_cache_peer_misses_total", "peer fetches answered with an authoritative miss per tier", mc.PeerMisses, mat)
+	r.RegisterCounter("manirank_cache_peer_errors_total", "peer fetches that failed and fell back to compute per tier", mc.PeerErrors, mat)
 	r.RegisterCounter("manirank_matrix_builds_total", "precedence-matrix constructions paid", mc.Builds)
 	r.RegisterCounter("manirank_matrix_rejected_total", "built matrices too large to admit", mc.Rejected)
 	r.CounterFunc("manirank_matrix_builds_skipped_total",
@@ -468,6 +525,20 @@ func (s *Server) initObs() {
 		s.stageHist[stage] = r.Histogram("manirank_stage_seconds",
 			"per-stage request time from trace spans", buckets, obs.L("stage", stage))
 	}
+
+	// Persistence + fleet operations (both satellites of DESIGN.md §13).
+	s.snapshotFlushes = r.Counter("manirank_cache_snapshot_flushes_total",
+		"background snapshot flush ticks completed")
+	s.peerWarms = r.Counter("manirank_fleet_warm_pushes_total",
+		"cache entries pushed to their new owner after a membership change")
+	if f := s.fleet; f != nil {
+		r.GaugeFunc("manirank_fleet_nodes", "configured fleet size, self included",
+			func() float64 { return float64(len(f.Nodes())) })
+		r.GaugeFunc("manirank_fleet_alive_nodes", "fleet nodes currently believed alive, self included",
+			func() float64 { return float64(len(f.Alive())) })
+		r.GaugeFunc("manirank_fleet_epoch", "membership epoch (bumps on every alive-set change)",
+			func() float64 { return float64(f.Epoch()) })
+	}
 }
 
 // predictMatrixHitRate runs the Che estimator for the matrix tier. The
@@ -497,6 +568,28 @@ func (s *Server) reaper(interval time.Duration) {
 			return
 		case <-t.C:
 			s.cache.Sweep()
+		}
+	}
+}
+
+// snapshotter flushes both memory tiers to the persistent store on a fixed
+// interval (Config.SnapshotInterval). Write-through already persists every
+// admission once, so each tick only re-writes residents whose earlier disk
+// write failed — bounding what a crash can lose to one interval instead of
+// everything since the last graceful shutdown.
+func (s *Server) snapshotter(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			nr := s.cache.Flush()
+			nm := s.prec.Flush()
+			s.snapshotFlushes.Inc()
+			s.log.Debug("cache snapshot flushed", "results", nr, "matrices", nm)
 		}
 	}
 }
@@ -600,7 +693,7 @@ func (s *Server) precedence(ctx context.Context, pb *problem) (*ranking.Preceden
 	// Feed the popularity model the stream this tier actually sees: profile
 	// sub-digests of requests that missed the result tier.
 	s.cheMatrix.Observe(pb.profDigest)
-	v, _, _, err := s.prec.Do(ctx, pb.profDigest, func() (any, int64, error) {
+	v, _, _, err := s.prec.DoFetch(ctx, pb.profDigest, s.matrixFetch(pb), func() (any, int64, error) {
 		w, err := ranking.NewPrecedence(pb.profile)
 		if err != nil {
 			return nil, 0, err
@@ -736,6 +829,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/session", s.handleSessionCreate)
 	mux.HandleFunc("/v1/session/", s.handleSession)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.fleet != nil {
+		mux.HandleFunc(fleet.PathPrefix, s.handlePeer)
+	}
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	mux.HandleFunc("/tracez", s.handleTracez)
@@ -774,7 +870,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	waitCtx, cancelWait := context.WithTimeout(r.Context(), budget)
 	defer cancelWait()
 	waitCtx = obs.WithTrace(waitCtx, tr)
-	v, hit, shared, err := s.cache.Do(waitCtx, digest, func() (any, bool, error) {
+	v, hit, shared, err := s.cache.DoFetch(waitCtx, digest, s.resultFetch(digest), func() (any, bool, error) {
 		res, err := s.admit(tr, pb, budget, nil)
 		if err != nil {
 			return nil, false, err
@@ -803,6 +899,12 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		observeSeconds(s.histHit, elapsed)
 	} else {
 		observeSeconds(s.histSolve, elapsed)
+		if !shared {
+			// This node just paid a compute for a digest the ring may home
+			// elsewhere: hand the owner a copy in the background so the next
+			// non-owner's peer fetch finds it.
+			s.pushResult(digest, res)
+		}
 	}
 	resp := &AggregateResponse{
 		result:    *res,
@@ -890,6 +992,8 @@ type Statz struct {
 	LatencyByMethod map[string]LatencySnapshot `json:"latency_solve_by_method"`
 	// Sessions reports the streaming-session surface.
 	Sessions SessionStatz `json:"sessions"`
+	// Fleet reports the peering layer; omitted on a single node.
+	Fleet *FleetStatz `json:"fleet,omitempty"`
 }
 
 // SessionStatz reports the streaming-session surface: live sessions and
@@ -955,6 +1059,7 @@ func (s *Server) StatzSnapshot() Statz {
 			st.Sessions.Ops[op] = v
 		}
 	}
+	st.Fleet = s.fleetStatz()
 	return st
 }
 

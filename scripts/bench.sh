@@ -43,6 +43,15 @@ RESTART="$(go run ./cmd/experiments -serve-restart -seed 1)"
 # rebuild, cold solve) at mutation fractions {0.1, 0.5, 0.9}.
 CHURN="$(go run ./cmd/experiments -serve-churn -seed 1 -serve-requests "${CHURN_REQUESTS:-200}")"
 
+# Fleet sharding (PR 10): the same Zipf workload against a single-node
+# control and a 3-replica rendezvous-sharded ring at equal per-node cache
+# size, then a degraded replay that kills one replica mid-load. The request
+# count must be high enough that the run outlasts the 200ms kill timer, or
+# killed_mid_run comes back false.
+FLEET="$(go run ./cmd/experiments -serve-fleet -seed 1 \
+  -serve-requests "${FLEET_REQUESTS:-1200}" -serve-clients 8 \
+  -serve-profiles 120 -serve-cache 48)"
+
 {
   echo '{'
   echo "  \"pr\": ${N},"
@@ -64,6 +73,8 @@ CHURN="$(go run ./cmd/experiments -serve-churn -seed 1 -serve-requests "${CHURN_
   echo "$RESTART" | sed 's/^/  /'
   echo '  ,"churn":'
   echo "$CHURN" | sed 's/^/  /'
+  echo '  ,"fleet":'
+  echo "$FLEET" | sed 's/^/  /'
   echo '}'
 } > "$OUT"
 
